@@ -1,0 +1,37 @@
+"""Figure 17: average time per update while varying the number of triggers.
+
+Paper result: UNGROUPED degrades with the number of XML triggers (no shared
+computation); GROUPED and GROUPED-AGG stay essentially flat, with GROUPED-AGG
+about 30% faster than GROUPED.
+"""
+
+import pytest
+
+from repro.core.service import ExecutionMode
+from benchmarks.common import BENCH_DEFAULTS, time_updates
+
+GROUPED_COUNTS = [1, 10, 100, 1000]
+UNGROUPED_COUNTS = [1, 10, 50]  # UNGROUPED scales linearly; keep the suite fast.
+
+
+def _params(num_triggers: int):
+    return BENCH_DEFAULTS.with_(
+        num_triggers=num_triggers,
+        satisfied_triggers=min(BENCH_DEFAULTS.satisfied_triggers, num_triggers),
+    )
+
+
+@pytest.mark.parametrize("num_triggers", GROUPED_COUNTS)
+@pytest.mark.parametrize("mode", [ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG])
+def test_fig17_grouped_modes(benchmark, mode, num_triggers):
+    benchmark.group = f"fig17-triggers-{num_triggers}"
+    runner = time_updates(benchmark, _params(num_triggers), mode)
+    assert runner.fired > 0
+
+
+@pytest.mark.parametrize("num_triggers", UNGROUPED_COUNTS)
+def test_fig17_ungrouped(benchmark, num_triggers):
+    benchmark.group = f"fig17-triggers-{num_triggers}"
+    rounds = 5 if num_triggers >= 50 else 10
+    runner = time_updates(benchmark, _params(num_triggers), ExecutionMode.UNGROUPED, rounds=rounds)
+    assert runner.fired > 0

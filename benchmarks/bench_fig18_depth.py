@@ -1,0 +1,18 @@
+"""Figure 18: average time per update while varying the hierarchy depth.
+
+Paper result: run time grows roughly linearly with the view depth because the
+generated trigger must evaluate more joins to recreate the hierarchy.
+"""
+
+import pytest
+
+from repro.core.service import ExecutionMode
+from benchmarks.common import BENCH_DEFAULTS, time_updates
+
+
+@pytest.mark.parametrize("depth", [2, 3, 4, 5])
+@pytest.mark.parametrize("mode", [ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG])
+def test_fig18_depth(benchmark, mode, depth):
+    benchmark.group = f"fig18-depth-{depth}"
+    runner = time_updates(benchmark, BENCH_DEFAULTS.with_(depth=depth), mode)
+    assert runner.fired > 0

@@ -1,0 +1,21 @@
+"""Figure 22 (Appendix G.1): varying the number of leaf tuples per XML element.
+
+Paper result: only a small increase in run time as the fanout grows, caused by
+the larger (OLD_NODE, NEW_NODE) values that have to be produced.
+"""
+
+import pytest
+
+from repro.core.service import ExecutionMode
+from benchmarks.common import BENCH_DEFAULTS, time_updates
+
+
+@pytest.mark.parametrize("fanout", [16, 32, 64, 128, 256])
+@pytest.mark.parametrize("mode", [ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG])
+def test_fig22_fanout(benchmark, mode, fanout):
+    benchmark.group = f"fig22-fanout-{fanout}"
+    parameters = BENCH_DEFAULTS.with_(
+        fanout=fanout, leaf_tuples=max(BENCH_DEFAULTS.leaf_tuples, fanout * 8)
+    )
+    runner = time_updates(benchmark, parameters, mode)
+    assert runner.fired > 0

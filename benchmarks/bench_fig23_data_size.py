@@ -1,0 +1,21 @@
+"""Figure 23 (Appendix G.2): varying the database size (number of leaf tuples).
+
+Paper result: both GROUPED and GROUPED-AGG scale gracefully — because the view
+is never materialized, only the affected XML element's leaves are touched, so
+the per-update cost is essentially independent of the total data size.
+"""
+
+import pytest
+
+from repro.core.service import ExecutionMode
+from benchmarks.common import BENCH_DEFAULTS, BENCH_SCALE, time_updates
+
+LEAF_COUNTS = [int(n * BENCH_SCALE) for n in (1_024, 4_096, 16_384, 65_536)]
+
+
+@pytest.mark.parametrize("leaf_tuples", LEAF_COUNTS)
+@pytest.mark.parametrize("mode", [ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG])
+def test_fig23_data_size(benchmark, mode, leaf_tuples):
+    benchmark.group = f"fig23-leaves-{leaf_tuples}"
+    runner = time_updates(benchmark, BENCH_DEFAULTS.with_(leaf_tuples=leaf_tuples), mode)
+    assert runner.fired > 0

@@ -1,0 +1,23 @@
+"""Figure 24 (Appendix G.3): varying the number of satisfied triggers.
+
+Paper result: run time increases roughly linearly with the number of triggers
+that actually fire per update, because one (OLD_NODE, NEW_NODE) parameter set
+is produced per satisfied trigger.
+"""
+
+import pytest
+
+from repro.core.service import ExecutionMode
+from benchmarks.common import BENCH_DEFAULTS, time_updates
+
+
+@pytest.mark.parametrize("satisfied", [1, 20, 40, 80, 100])
+@pytest.mark.parametrize("mode", [ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG])
+def test_fig24_satisfied(benchmark, mode, satisfied):
+    benchmark.group = f"fig24-satisfied-{satisfied}"
+    parameters = BENCH_DEFAULTS.with_(
+        satisfied_triggers=satisfied,
+        num_triggers=max(BENCH_DEFAULTS.num_triggers, satisfied),
+    )
+    runner = time_updates(benchmark, parameters, mode)
+    assert runner.fired > 0

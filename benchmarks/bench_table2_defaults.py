@@ -1,0 +1,25 @@
+"""Table 2 default parameter point: all three systems at the default workload.
+
+This is the anchor measurement every figure varies from (depth 2, default
+data size and fanout, default trigger population, 20 satisfied triggers).
+"""
+
+import pytest
+
+from repro.core.service import ExecutionMode
+from benchmarks.common import BENCH_DEFAULTS, time_updates
+
+
+@pytest.mark.parametrize(
+    "mode",
+    [ExecutionMode.UNGROUPED, ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG],
+)
+def test_table2_default_point(benchmark, mode):
+    benchmark.group = "table2-defaults"
+    parameters = BENCH_DEFAULTS
+    if mode is ExecutionMode.UNGROUPED:
+        # One SQL trigger per XML trigger: keep the population small enough
+        # for the benchmark to finish while preserving the per-trigger cost.
+        parameters = parameters.with_(num_triggers=20, satisfied_triggers=20)
+    runner = time_updates(benchmark, parameters, mode, rounds=5)
+    assert runner.fired > 0

@@ -1,0 +1,147 @@
+"""Inventory feed over a three-level view: INSERT / DELETE triggers.
+
+Scenario: a distributor publishes a three-level XML view — regions containing
+warehouses containing stock items — and downstream systems want to be told
+when a warehouse *enters* or *leaves* the feed.  A warehouse is published
+only while it stocks at least two items (a nested count predicate), so plain
+row-level relational triggers cannot express this: whether a warehouse
+appears or disappears depends on an aggregate over another table.  The
+translated XML triggers handle it.
+
+Run with:  python examples/inventory_feed.py
+"""
+
+from __future__ import annotations
+
+from repro.core.service import ActiveViewService, ExecutionMode
+from repro.relational import Column, DataType, Database, ForeignKey, TableSchema
+from repro.xmlmodel import serialize
+from repro.xqgm.expressions import ColumnRef, Comparison, Constant
+from repro.xqgm.views import ViewDefinition, ViewElementSpec
+
+
+def build_database() -> Database:
+    db = Database("inventory")
+    db.create_table(
+        TableSchema(
+            "region",
+            [Column("rid", DataType.INTEGER, nullable=False), Column("name", DataType.TEXT)],
+            primary_key=["rid"],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "warehouse",
+            [
+                Column("wid", DataType.INTEGER, nullable=False),
+                Column("rid", DataType.INTEGER, nullable=False),
+                Column("city", DataType.TEXT),
+            ],
+            primary_key=["wid"],
+            foreign_keys=[ForeignKey(("rid",), "region", ("rid",))],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "stock",
+            [
+                Column("sid", DataType.INTEGER, nullable=False),
+                Column("wid", DataType.INTEGER, nullable=False),
+                Column("sku", DataType.TEXT, nullable=False),
+                Column("quantity", DataType.INTEGER, nullable=False),
+            ],
+            primary_key=["sid"],
+            foreign_keys=[ForeignKey(("wid",), "warehouse", ("wid",))],
+        )
+    )
+    db.load_rows("region", [{"rid": 1, "name": "EMEA"}, {"rid": 2, "name": "APAC"}])
+    db.load_rows(
+        "warehouse",
+        [
+            {"wid": 10, "rid": 1, "city": "Rotterdam"},
+            {"wid": 11, "rid": 1, "city": "Lyon"},
+            {"wid": 20, "rid": 2, "city": "Osaka"},
+        ],
+    )
+    db.load_rows(
+        "stock",
+        [
+            {"sid": 1, "wid": 10, "sku": "bolt-m6", "quantity": 900},
+            {"sid": 2, "wid": 10, "sku": "nut-m6", "quantity": 1200},
+            {"sid": 3, "wid": 11, "sku": "bolt-m6", "quantity": 40},
+            {"sid": 4, "wid": 20, "sku": "washer-8", "quantity": 300},
+            {"sid": 5, "wid": 20, "sku": "bolt-m8", "quantity": 500},
+        ],
+    )
+    return db
+
+
+def build_view() -> ViewDefinition:
+    """regions → warehouses (only those stocking >= 2 items) → items."""
+    item = ViewElementSpec(
+        name="item",
+        table="stock",
+        alias="S",
+        content=[("sku", "S.sku"), ("quantity", "S.quantity")],
+        link=[("wid", "wid")],
+    )
+    warehouse = ViewElementSpec(
+        name="warehouse",
+        table="warehouse",
+        alias="W",
+        attributes=[("city", "W.city")],
+        children=[item],
+        having=Comparison(">=", ColumnRef("count_item"), Constant(2)),
+        link=[("rid", "rid")],
+    )
+    region = ViewElementSpec(
+        name="region",
+        table="region",
+        alias="R",
+        attributes=[("name", "R.name")],
+        children=[warehouse],
+    )
+    return ViewDefinition("feed", "inventory", region)
+
+
+def main() -> None:
+    db = build_database()
+    view = build_view()
+    print("=== Published inventory feed (virtual; materialized for illustration) ===")
+    print(serialize(view.materialize(db), indent=2))
+    print()
+
+    service = ActiveViewService(db, mode=ExecutionMode.GROUPED_AGG)
+    service.register_view(view)
+    service.register_action(
+        "onPublished",
+        lambda city: print(f"  >> warehouse published to the feed: {city.value}"),
+    )
+    service.register_action(
+        "onRemoved",
+        lambda city: print(f"  >> warehouse removed from the feed: {city.value}"),
+    )
+    service.create_trigger(
+        "CREATE TRIGGER WarehousePublished AFTER INSERT "
+        "ON view('feed')/region/warehouse DO onPublished(NEW_NODE/@city)"
+    )
+    service.create_trigger(
+        "CREATE TRIGGER WarehouseRemoved AFTER DELETE "
+        "ON view('feed')/region/warehouse DO onRemoved(OLD_NODE/@city)"
+    )
+
+    print("=== Lyon receives a second SKU: it crosses the 2-item threshold ===")
+    service.insert("stock", {"sid": 6, "wid": 11, "sku": "nut-m6", "quantity": 75})
+    print()
+
+    print("=== Osaka ships out its bolts: it drops below the threshold ===")
+    service.delete("stock", where=lambda r: r["sid"] == 5)
+    print()
+
+    print("=== A quantity-only update neither publishes nor removes anything ===")
+    result = service.update("stock", {"quantity": 10}, where=lambda r: r["sid"] == 1)
+    print(f"  fired triggers for this statement: {result.fired_xml_triggers}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Price-watch web service: many structurally similar triggers, one SQL trigger.
+
+Scenario (the paper's motivating web-service setting): thousands of buyers
+subscribe to price alerts on the supplier's XML catalog view — "tell me when
+<product X> has a vendor selling below $Y".  All of these subscriptions are
+structurally identical XML triggers that differ only in their constants, so
+the Trigger Grouping stage (Section 5.1) collapses them into a single SQL
+trigger driven by a constants table, no matter how many buyers subscribe.
+
+Run with:  python examples/price_watch.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.service import ActiveViewService, ExecutionMode
+from repro.xmlmodel import serialize
+from repro.xqgm.views import catalog_view
+
+try:
+    from examples.quickstart import build_database
+except ImportError:  # running as `python examples/price_watch.py`
+    from quickstart import build_database
+
+
+def main() -> None:
+    rng = random.Random(7)
+    db = build_database()
+    service = ActiveViewService(db, mode=ExecutionMode.GROUPED)
+    service.register_view(catalog_view())
+
+    alerts: list[tuple] = []
+    service.register_action(
+        "alert",
+        lambda buyer, name, cheapest: alerts.append((str(buyer), str(name), float(str(cheapest)))),
+    )
+
+    # Register 500 buyer subscriptions: same shape, different constants.
+    products = ["CRT 15", "LCD 19"]
+    for buyer_id in range(500):
+        product = rng.choice(products)
+        threshold = rng.choice([90, 110, 130, 160, 190])
+        service.create_trigger(
+            f"CREATE TRIGGER watch_{buyer_id} AFTER UPDATE ON view('catalog')/product "
+            f"WHERE NEW_NODE/@name = '{product}' "
+            f"  and count(NEW_NODE/vendor[./price < {threshold}]) >= 1 "
+            f"DO alert('buyer-{buyer_id}', NEW_NODE/@name, min(NEW_NODE/vendor/price))"
+        )
+
+    print(f"XML triggers registered : {len(service.triggers)}")
+    print(f"trigger groups          : {service.group_count()}")
+    print(f"SQL triggers installed  : {len(db.triggers())}")
+    print()
+
+    print("=== Amazon drops the price of P1 (a 'CRT 15') to 85 ===")
+    service.update("vendor", {"price": 85.0},
+                   where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1")
+    print(f"alerts delivered: {len(alerts)}")
+    for buyer, name, cheapest in alerts[:5]:
+        print(f"  {buyer}: {name} now has a vendor at {cheapest:.2f}")
+    if len(alerts) > 5:
+        print(f"  ... and {len(alerts) - 5} more")
+    print()
+
+    alerts.clear()
+    service.clear_logs()
+    print("=== Buy.com raises the price of P2 (a 'LCD 19') to 210 ===")
+    service.update("vendor", {"price": 210.0},
+                   where=lambda r: r["vid"] == "Buy.com" and r["pid"] == "P2")
+    print(f"alerts delivered: {len(alerts)} "
+          "(the LCD 19 element changed, so subscriptions whose threshold still "
+          "matches the cheapest remaining vendor are notified)")
+    print()
+
+    print("=== A vendor starts selling the LCD 19 for 95 ===")
+    alerts.clear()
+    service.insert("vendor", {"vid": "Newegg", "pid": "P2", "price": 95.0})
+    print(f"alerts delivered: {len(alerts)}")
+    buyers = sorted({buyer for buyer, _, _ in alerts})
+    print(f"  distinct buyers notified: {len(buyers)}")
+
+
+if __name__ == "__main__":
+    main()

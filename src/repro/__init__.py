@@ -1,0 +1,50 @@
+"""Reproduction of "Triggers over XML Views of Relational Data" (ICDE 2005).
+
+Public entry points:
+
+* :class:`repro.relational.Database` — the relational substrate;
+* :class:`repro.xqgm.views.ViewDefinition` / :func:`repro.xqgm.views.catalog_view`
+  — XML view definitions over relational data;
+* :class:`repro.core.service.ActiveViewService` — the active middleware that
+  translates XML triggers into SQL triggers;
+* :class:`repro.core.baseline.MaterializedBaseline` — the materialized-view
+  baseline / oracle;
+* :mod:`repro.workloads` — the paper's experimental workloads and harness.
+"""
+
+from repro.relational import Column, DataType, Database, TableSchema, TriggerEvent
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveViewService",
+    "Column",
+    "DataType",
+    "Database",
+    "ExecutionMode",
+    "MaterializedBaseline",
+    "TableSchema",
+    "TriggerEvent",
+    "ViewDefinition",
+    "ViewElementSpec",
+    "catalog_view",
+    "__version__",
+]
+
+_LAZY = {
+    "ActiveViewService": ("repro.core.service", "ActiveViewService"),
+    "ExecutionMode": ("repro.core.service", "ExecutionMode"),
+    "MaterializedBaseline": ("repro.core.baseline", "MaterializedBaseline"),
+    "ViewDefinition": ("repro.xqgm.views", "ViewDefinition"),
+    "ViewElementSpec": ("repro.xqgm.views", "ViewElementSpec"),
+    "catalog_view": ("repro.xqgm.views", "catalog_view"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attribute = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,61 @@
+"""The paper's contribution: translating XML-view triggers into SQL triggers.
+
+Modules in this package mirror the system architecture of Figure 6:
+
+* :mod:`repro.core.language` — the XML trigger specification language
+  (Section 2.2): ``CREATE TRIGGER ... AFTER event ON path WHERE ... DO ...``;
+* :mod:`repro.core.semantics` — trigger semantics on views (Definitions 2-4);
+* :mod:`repro.core.events` — Event Pushdown (Section 3.3, Appendix C);
+* :mod:`repro.core.affected_keys` — CreateAKGraph (Section 4.2.1, Figure 8);
+* :mod:`repro.core.affected_nodes` — CreateANGraph (Section 4.2.2, Figure 12);
+* :mod:`repro.core.injectivity` — injective-view analysis and the
+  CreateANOpt optimization (Appendix F);
+* :mod:`repro.core.grouping` — Trigger Grouping with constants tables
+  (Section 5.1);
+* :mod:`repro.core.pushdown` — Trigger Pushdown: building executable /
+  renderable SQL triggers, including the GROUPED-AGG old-aggregate
+  optimization (Section 5.2);
+* :mod:`repro.core.tagger` — the constant-space tagger (Section 3.2);
+* :mod:`repro.core.activation` — Trigger Activation (Section 3.2);
+* :mod:`repro.core.service` — the middleware facade tying it all together;
+* :mod:`repro.core.baseline` — the MATERIALIZED baseline / oracle.
+"""
+
+from repro.core.semantics import NodeChange, check_trigger_specifiable, diff_node_maps
+
+__all__ = [
+    "ActionCall",
+    "ActiveViewService",
+    "ExecutionMode",
+    "FiredTrigger",
+    "MaterializedBaseline",
+    "NodeChange",
+    "TriggerSpec",
+    "ViewDelta",
+    "check_trigger_specifiable",
+    "diff_node_maps",
+    "parse_trigger",
+]
+
+# The service facade, baseline, and trigger language pull in the full
+# translation pipeline; expose them lazily so ``import repro.core`` stays
+# cheap and the submodules can be developed/tested independently.
+_LAZY_EXPORTS = {
+    "ActiveViewService": ("repro.core.service", "ActiveViewService"),
+    "ExecutionMode": ("repro.core.service", "ExecutionMode"),
+    "FiredTrigger": ("repro.core.service", "FiredTrigger"),
+    "MaterializedBaseline": ("repro.core.baseline", "MaterializedBaseline"),
+    "ViewDelta": ("repro.core.baseline", "ViewDelta"),
+    "TriggerSpec": ("repro.core.trigger", "TriggerSpec"),
+    "ActionCall": ("repro.core.trigger", "ActionCall"),
+    "parse_trigger": ("repro.core.language", "parse_trigger"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module_name, attribute = _LAZY_EXPORTS[name]
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

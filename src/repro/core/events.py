@@ -1,0 +1,292 @@
+"""Event Pushdown (Section 3.3, Appendix C of the paper).
+
+Given the XQGM graph of the monitored path and the XML trigger's event
+(INSERT, UPDATE, or DELETE on the monitored nodes), determine the *minimal*
+set of relational ``(table, event)`` pairs that could cause that XML event —
+these are the tables on which SQL triggers must be created.
+
+The implementation follows ``GetSrcEvents`` (Figure 19): starting from the
+top operator, the operator-specific rules of Table 4 are applied recursively
+until base ``Table`` operators are reached.  UPDATE events carry the set of
+columns whose modification is relevant; this lets the analysis conclude, for
+example, that an UPDATE of ``product.mfr`` cannot affect the catalog view
+(which never reads ``mfr``), so no work is done for such statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import TriggerCompilationError
+from repro.relational.triggers import TriggerEvent
+from repro.xqgm.expressions import Expression
+from repro.xqgm.operators import (
+    ConstantsOp,
+    GroupByOp,
+    JoinOp,
+    Operator,
+    ProjectOp,
+    SelectOp,
+    TableOp,
+    UnionOp,
+    UnnestOp,
+)
+
+__all__ = ["RelationalEvent", "get_source_events", "events_by_table"]
+
+# ``columns`` semantics: None means "any column"; a frozenset restricts the
+# UPDATE event to statements that modify at least one of those columns.
+Columns = frozenset[str] | None
+
+
+@dataclass(frozen=True)
+class RelationalEvent:
+    """A relational event that can cause the monitored XML event."""
+
+    table: str
+    event: TriggerEvent
+    columns: Columns = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        columns = "*" if self.columns is None else ",".join(sorted(self.columns))
+        return f"RelationalEvent({self.event.value} {self.table}[{columns}])"
+
+
+def _merge_columns(a: Columns, b: Columns) -> Columns:
+    if a is None or b is None:
+        return None
+    return a | b
+
+
+def _restrict(columns: Columns, available: Iterable[str]) -> Columns:
+    if columns is None:
+        return None
+    return frozenset(columns) & frozenset(available)
+
+
+def get_source_events(
+    top: Operator, event: TriggerEvent, columns: Columns = None
+) -> set[RelationalEvent]:
+    """``GetSrcEvents``: all base-table events that can cause ``event`` on ``top``."""
+    results: dict[tuple[str, TriggerEvent], Columns] = {}
+    _visit(top, event, columns, results, depth=0)
+    return {
+        RelationalEvent(table, table_event, cols)
+        for (table, table_event), cols in results.items()
+    }
+
+
+def events_by_table(events: Iterable[RelationalEvent]) -> dict[str, dict[TriggerEvent, Columns]]:
+    """Group relational events per table (one SQL trigger per table-event)."""
+    grouped: dict[str, dict[TriggerEvent, Columns]] = {}
+    for relational_event in events:
+        per_table = grouped.setdefault(relational_event.table, {})
+        if relational_event.event in per_table:
+            per_table[relational_event.event] = _merge_columns(
+                per_table[relational_event.event], relational_event.columns
+            )
+        else:
+            per_table[relational_event.event] = relational_event.columns
+    return grouped
+
+
+def _record(
+    results: dict[tuple[str, TriggerEvent], Columns],
+    table: str,
+    event: TriggerEvent,
+    columns: Columns,
+) -> None:
+    key = (table, event)
+    if key in results:
+        results[key] = _merge_columns(results[key], columns)
+    else:
+        results[key] = columns
+
+
+_MAX_DEPTH = 200
+
+
+def _visit(
+    op: Operator,
+    event: TriggerEvent,
+    columns: Columns,
+    results: dict[tuple[str, TriggerEvent], Columns],
+    depth: int,
+) -> None:
+    if depth > _MAX_DEPTH:  # pragma: no cover - defensive
+        raise TriggerCompilationError("event pushdown recursion is too deep")
+
+    if isinstance(op, TableOp):
+        if event is TriggerEvent.UPDATE and columns is not None:
+            prefix = f"{op.alias}."
+            base_columns = frozenset(
+                column[len(prefix):] for column in columns if column.startswith(prefix)
+            )
+            if not base_columns:
+                # No monitored column maps to this table: updates to it are
+                # irrelevant for this event.
+                return
+            _record(results, op.table, event, base_columns)
+        else:
+            _record(results, op.table, event, None)
+        return
+
+    if isinstance(op, ConstantsOp):
+        return  # constants tables never change at run time
+
+    if isinstance(op, SelectOp):
+        _visit_select_like(op, op.input, op.predicate, event, columns, results, depth)
+        return
+
+    if isinstance(op, ProjectOp):
+        if event is TriggerEvent.UPDATE:
+            input_columns = _project_input_columns(op, columns)
+            _visit(op.input, TriggerEvent.UPDATE, input_columns, results, depth + 1)
+        else:
+            # A Project neither filters nor multiplies tuples, so inserts and
+            # deletes simply propagate from its input.
+            _visit(op.input, event, None, results, depth + 1)
+        return
+
+    if isinstance(op, JoinOp):
+        _visit_join(op, event, columns, results, depth)
+        return
+
+    if isinstance(op, GroupByOp):
+        _visit_groupby(op, event, columns, results, depth)
+        return
+
+    if isinstance(op, UnionOp):
+        for input_op, mapping in zip(op.inputs, op.mappings):
+            mapped: Columns
+            if columns is None:
+                mapped = None
+            else:
+                mapped = frozenset(
+                    mapping[column] for column in columns if column in mapping
+                )
+            if event is TriggerEvent.UPDATE:
+                # Per Table 4, updates to any input column can cause inserts,
+                # deletes, or updates of the union output (duplicate collapse).
+                _visit(input_op, TriggerEvent.UPDATE, mapped or None, results, depth + 1)
+            else:
+                _visit(input_op, event, None, results, depth + 1)
+                _visit(input_op, TriggerEvent.UPDATE, None, results, depth + 1)
+        return
+
+    if isinstance(op, UnnestOp):
+        # Unnest output mirrors its input plus the unnested items.
+        _visit(op.input, event, None, results, depth + 1)
+        if event in (TriggerEvent.INSERT, TriggerEvent.DELETE):
+            _visit(op.input, TriggerEvent.UPDATE, frozenset({op.source_column}), results, depth + 1)
+        return
+
+    raise TriggerCompilationError(f"event pushdown cannot handle operator {op.kind}")
+
+
+def _visit_select_like(
+    op: Operator,
+    input_op: Operator,
+    predicate: Expression,
+    event: TriggerEvent,
+    columns: Columns,
+    results: dict[tuple[str, TriggerEvent], Columns],
+    depth: int,
+) -> None:
+    condition_columns = frozenset(predicate.referenced_columns())
+    if event is TriggerEvent.UPDATE:
+        _visit(input_op, TriggerEvent.UPDATE, columns, results, depth + 1)
+        return
+    # INSERT(O) <- INSERT(I) or UPDATE(I, Cσ); DELETE symmetric (Table 4).
+    _visit(input_op, event, None, results, depth + 1)
+    if condition_columns:
+        _visit(input_op, TriggerEvent.UPDATE, condition_columns, results, depth + 1)
+
+
+def _project_input_columns(op: ProjectOp, columns: Columns) -> Columns:
+    if columns is None:
+        referenced: set[str] = set()
+        for _, expression in op.projections:
+            referenced |= expression.referenced_columns()
+        return frozenset(referenced) or None
+    referenced = set()
+    for name, expression in op.projections:
+        if name in columns:
+            referenced |= expression.referenced_columns()
+    return frozenset(referenced) or frozenset()
+
+
+def _visit_join(
+    op: JoinOp,
+    event: TriggerEvent,
+    columns: Columns,
+    results: dict[tuple[str, TriggerEvent], Columns],
+    depth: int,
+) -> None:
+    join_columns: set[str] = set()
+    for a, b in op.equi_pairs:
+        join_columns.add(a)
+        join_columns.add(b)
+    if op.condition is not None:
+        join_columns |= op.condition.referenced_columns()
+
+    for input_op in op.inputs:
+        available = set(input_op.output_columns)
+        if event is TriggerEvent.UPDATE:
+            restricted = _restrict(columns, available) if columns is not None else None
+            if restricted is None or restricted:
+                _visit(input_op, TriggerEvent.UPDATE, restricted, results, depth + 1)
+            # Updates to join columns can also move tuples in or out of the
+            # join result, which surfaces as inserts/deletes of the output —
+            # those are only relevant when the caller asked for INSERT/DELETE,
+            # handled below.
+        else:
+            _visit(input_op, event, None, results, depth + 1)
+            relevant_join_columns = frozenset(join_columns & available)
+            if relevant_join_columns:
+                _visit(input_op, TriggerEvent.UPDATE, relevant_join_columns, results, depth + 1)
+            else:
+                _visit(input_op, TriggerEvent.UPDATE, None, results, depth + 1)
+
+
+def _visit_groupby(
+    op: GroupByOp,
+    event: TriggerEvent,
+    columns: Columns,
+    results: dict[tuple[str, TriggerEvent], Columns],
+    depth: int,
+) -> None:
+    grouping = frozenset(op.grouping)
+    input_op = op.input
+
+    if event in (TriggerEvent.INSERT, TriggerEvent.DELETE):
+        # A group appears/disappears when input rows appear/disappear or when
+        # a grouping-column update moves rows between groups (Table 4).
+        _visit(input_op, event, None, results, depth + 1)
+        _visit(input_op, TriggerEvent.UPDATE, grouping or None, results, depth + 1)
+        return
+
+    # UPDATE(O, C)
+    aggregate_outputs = {aggregate.name for aggregate in op.aggregates}
+    monitored = set(op.output_columns) if columns is None else set(columns)
+    monitored_aggregates = monitored & aggregate_outputs
+    monitored_grouping = monitored & grouping
+
+    input_columns: set[str] = set()
+    for aggregate in op.aggregates:
+        if aggregate.name in monitored_aggregates:
+            input_columns |= aggregate.referenced_columns()
+    input_columns |= monitored_grouping  # updates to grouping cols move tuples
+
+    if input_columns:
+        _visit(input_op, TriggerEvent.UPDATE, frozenset(input_columns), results, depth + 1)
+    elif columns is None:
+        _visit(input_op, TriggerEvent.UPDATE, None, results, depth + 1)
+
+    only_grouping_monitored = monitored and monitored <= grouping
+    if not only_grouping_monitored:
+        # INSERT(I) / DELETE(I) change aggregate values, hence update the
+        # group's output — "unless C ⊆ G" (Table 4).
+        _visit(input_op, TriggerEvent.INSERT, None, results, depth + 1)
+        _visit(input_op, TriggerEvent.DELETE, None, results, depth + 1)

@@ -1,0 +1,169 @@
+"""Trigger Grouping (Section 5.1 of the paper).
+
+Relational databases do not scale to very large numbers of SQL triggers, but
+web-service deployments are expected to carry very large numbers of XML
+triggers.  The fix (adapted from NiagaraCQ [5] and scalable trigger
+processing [14]) is to group *structurally similar* XML triggers — triggers
+that differ only in the literal constants of their conditions / action
+parameters — and generate **one** SQL trigger per group and table-event,
+driven by a *constants table*:
+
+======  ========
+TrigIDs Const1
+======  ========
+1,2     CRT 15
+3       LCD 19
+======  ========
+
+For simple conditions the constants table can be joined directly against the
+selection (Figure 14).  For nested conditions, the paper instead correlates
+the grouped graph on the constants table and then decorrelates (Figure 15);
+in this implementation the same effect is achieved by evaluating the shared
+affected-node graph once and then evaluating each *parameterized* condition
+per constants row over the produced (OLD_NODE, NEW_NODE) pairs — the
+per-group shared work (the expensive part: affected keys, node computation)
+is done exactly once regardless of how many XML triggers are registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import TriggerCompilationError
+from repro.xmlmodel.xpath import XPath, split_constants
+from repro.core.trigger import TriggerSpec
+
+__all__ = ["GroupMember", "ConstantsRow", "TriggerGroup", "group_triggers"]
+
+
+@dataclass
+class GroupMember:
+    """One XML trigger inside a group, with its extracted constants."""
+
+    spec: TriggerSpec
+    condition_constants: tuple[Any, ...]
+    argument_constants: tuple[tuple[Any, ...], ...]
+
+    @property
+    def constants_key(self) -> tuple:
+        """All constants of this trigger, used to share constants-table rows."""
+        return (self.condition_constants, self.argument_constants)
+
+
+@dataclass
+class ConstantsRow:
+    """One row of the constants table: the triggers sharing one set of constants."""
+
+    trigger_names: tuple[str, ...]
+    condition_constants: tuple[Any, ...]
+    argument_constants: tuple[tuple[Any, ...], ...]
+
+    def as_mapping(self) -> dict[str, Any]:
+        """Row as a mapping (column names ``TrigIDs``, ``Const1``, ...)."""
+        row: dict[str, Any] = {"TrigIDs": ",".join(self.trigger_names)}
+        for index, value in enumerate(self.condition_constants, start=1):
+            row[f"Const{index}"] = value
+        return row
+
+
+@dataclass
+class TriggerGroup:
+    """A set of structurally similar triggers sharing one generated SQL trigger."""
+
+    signature: tuple
+    members: list[GroupMember] = field(default_factory=list)
+
+    # -- group structure -----------------------------------------------------------
+
+    @property
+    def triggers(self) -> list[TriggerSpec]:
+        """The member trigger specs."""
+        return [member.spec for member in self.members]
+
+    @property
+    def representative(self) -> TriggerSpec:
+        """A representative member (all members share view/path/event/shape)."""
+        return self.members[0].spec
+
+    @property
+    def size(self) -> int:
+        """Number of XML triggers in the group."""
+        return len(self.members)
+
+    def add(self, spec: TriggerSpec) -> GroupMember:
+        """Add a trigger to the group (must share the group signature)."""
+        if spec.structural_signature() != self.signature:
+            raise TriggerCompilationError(
+                f"trigger {spec.name!r} does not match the group signature"
+            )
+        member = GroupMember(
+            spec=spec,
+            condition_constants=spec.condition_constants(),
+            argument_constants=tuple(
+                tuple(split_constants(argument)[1]) for argument in spec.action_args
+            ),
+        )
+        self.members.append(member)
+        return member
+
+    def remove(self, name: str) -> bool:
+        """Remove a trigger by name; returns whether it was present."""
+        before = len(self.members)
+        self.members = [m for m in self.members if m.spec.name != name]
+        return len(self.members) != before
+
+    # -- constants table (Section 5.1) ----------------------------------------------
+
+    def constants_table(self) -> list[ConstantsRow]:
+        """Build the constants table: one row per distinct constant set."""
+        rows: dict[tuple, list[GroupMember]] = {}
+        order: list[tuple] = []
+        for member in self.members:
+            key = member.constants_key
+            if key not in rows:
+                rows[key] = []
+                order.append(key)
+            rows[key].append(member)
+        table: list[ConstantsRow] = []
+        for key in order:
+            members = rows[key]
+            table.append(
+                ConstantsRow(
+                    trigger_names=tuple(member.spec.name for member in members),
+                    condition_constants=members[0].condition_constants,
+                    argument_constants=members[0].argument_constants,
+                )
+            )
+        return table
+
+    # -- parameterized condition / arguments ------------------------------------------
+
+    def parameterized_condition(self) -> XPath | None:
+        """The group's condition with constants replaced by parameters."""
+        condition = self.representative.condition
+        if condition is None or not condition.strip():
+            return None
+        parameterized, _ = split_constants(condition)
+        return XPath(parameterized)
+
+    def parameterized_arguments(self) -> tuple[XPath, ...]:
+        """The group's action arguments with constants replaced by parameters."""
+        return tuple(
+            XPath(split_constants(argument)[0]) for argument in self.representative.action_args
+        )
+
+
+def group_triggers(specs: Iterable[TriggerSpec]) -> list[TriggerGroup]:
+    """Partition triggers into structural-similarity groups (Section 5.1)."""
+    groups: dict[tuple, TriggerGroup] = {}
+    order: list[tuple] = []
+    for spec in specs:
+        signature = spec.structural_signature()
+        group = groups.get(signature)
+        if group is None:
+            group = TriggerGroup(signature)
+            groups[signature] = group
+            order.append(signature)
+        group.add(spec)
+    return [groups[signature] for signature in order]

@@ -1,0 +1,142 @@
+"""Injective-view analysis (Appendix F of the paper).
+
+A view is *injective* with respect to a base table ``T`` when there is a
+one-to-one mapping between each XML node it produces and the set of ``T``
+rows used to construct that node.  For such views, evaluated with *pruned*
+transition tables (Definition 8), the final ``OLD_NODE ≠ NEW_NODE`` check of
+``CreateANGraph`` can be dropped without admitting spurious UPDATE events
+(Theorem 3, the ``CreateANOpt`` variant).
+
+The implementation applies the sufficient conditions of Appendix F.2:
+
+* ``Project`` / ``Select`` / ``Join``: an input column is covered if it is
+  passed through to the output or feeds an injective function — in this
+  system the XML element constructor;
+* ``GroupBy``: an input column is covered if it is a grouping column or the
+  argument of ``aggXMLFrag``;
+* at the bottom, a ``Table(T)`` operator requires *all* of its columns to be
+  covered (Definition 11).
+
+Non-injective aggregates (``count``, ``min``, ``max``, ``sum``, ``avg``)
+break the chain, exactly as in the modified view of Figure 21.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.xqgm.expressions import (
+    AggregateSpec,
+    ColumnRef,
+    ElementConstructor,
+    Expression,
+    TextConstructor,
+)
+from repro.xqgm.operators import (
+    ConstantsOp,
+    GroupByOp,
+    JoinOp,
+    Operator,
+    ProjectOp,
+    SelectOp,
+    TableOp,
+    UnionOp,
+    UnnestOp,
+)
+from repro.xqgm.views import PathGraph
+
+__all__ = ["columns_injective_for_table", "view_is_injective", "path_graph_is_injective"]
+
+
+def _injectively_determined(expression: Expression) -> set[str] | None:
+    """Input columns injectively determined by an output expression.
+
+    Returns ``None`` when the expression is not injective in its inputs
+    (e.g. arithmetic, comparisons, constants over multiple columns), and the
+    set of input columns it injectively embeds otherwise.
+    """
+    if isinstance(expression, ColumnRef):
+        return {expression.name}
+    if isinstance(expression, (ElementConstructor, TextConstructor)):
+        # The XML constructor is injective (Appendix F.2): the constructed
+        # node embeds every input value verbatim.
+        return set(expression.referenced_columns())
+    return None
+
+
+def columns_injective_for_table(op: Operator, columns: Iterable[str], table: str) -> bool:
+    """Whether output ``columns`` of ``op`` are transitively injective w.r.t. ``table``."""
+    columns = set(columns)
+
+    if isinstance(op, TableOp):
+        if op.table != table:
+            return True
+        return set(op.output_columns) <= columns
+
+    if isinstance(op, ConstantsOp):
+        return True
+
+    if isinstance(op, SelectOp):
+        return columns_injective_for_table(op.input, columns, table)
+
+    if isinstance(op, ProjectOp):
+        determined: set[str] = set()
+        for name, expression in op.projections:
+            if name not in columns:
+                continue
+            embedded = _injectively_determined(expression)
+            if embedded is not None:
+                determined |= embedded
+        return columns_injective_for_table(op.input, determined, table)
+
+    if isinstance(op, JoinOp):
+        return all(
+            columns_injective_for_table(
+                input_op, columns & set(input_op.output_columns), table
+            )
+            for input_op in op.inputs
+        )
+
+    if isinstance(op, GroupByOp):
+        determined = set()
+        for column in op.grouping:
+            if column in columns:
+                determined.add(column)
+        for aggregate in op.aggregates:
+            if aggregate.name not in columns:
+                continue
+            if aggregate.func == "xmlfrag" and aggregate.argument is not None:
+                embedded = _injectively_determined(aggregate.argument)
+                if embedded is not None:
+                    determined |= embedded
+            # count/sum/min/max/avg are not injective: they contribute nothing.
+        return columns_injective_for_table(op.input, determined, table)
+
+    if isinstance(op, UnionOp):
+        for input_op, mapping in zip(op.inputs, op.mappings):
+            mapped = {mapping[c] for c in columns if c in mapping}
+            if not columns_injective_for_table(input_op, mapped, table):
+                return False
+        return True
+
+    if isinstance(op, UnnestOp):
+        return columns_injective_for_table(op.input, columns, table)
+
+    return False  # pragma: no cover - conservative default
+
+
+def view_is_injective(top: Operator, table: str, columns: Sequence[str] | None = None) -> bool:
+    """Whether the graph's output ``columns`` (default: all) are injective w.r.t. ``table``."""
+    columns = list(columns) if columns is not None else list(top.output_columns)
+    return columns_injective_for_table(top, columns, table)
+
+
+def path_graph_is_injective(path_graph: PathGraph, table: str) -> bool:
+    """Whether the monitored nodes of a path graph are injective w.r.t. ``table``.
+
+    This is the condition under which CreateANOpt may skip the final
+    ``OLD_NODE ≠ NEW_NODE`` check (Theorem 3): the node column plus the key
+    columns must embed every contributing row of ``table``.
+    """
+    needed = [path_graph.node_column, *path_graph.key_columns]
+    return view_is_injective(path_graph.top, table, needed)

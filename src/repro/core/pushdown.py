@@ -1,0 +1,409 @@
+"""Trigger Pushdown (Section 5.2): building the executable SQL triggers.
+
+This stage takes the affected-node machinery of Section 4 and turns it into
+the statement-level SQL trigger that actually runs on every relational
+update.  Three levers are applied here, matching the paper's GROUPED /
+GROUPED-AGG implementations:
+
+* **Affected-key pushdown** — the affected keys (driven by the transition
+  tables) are pushed *into* the view graph as semi-joins, so base tables are
+  probed through indexes for just the affected keys instead of being scanned
+  (Figure 16's ``AffectedKeys`` CTE joined inside ``ProductCount``).
+
+* **Old-aggregate compensation (GROUPED-AGG)** — when the triggers in a group
+  never look inside ``OLD_NODE`` (beyond attributes derived from the element
+  key), the old side only has to decide *which keys existed and satisfied the
+  view predicates before the update*.  Distributive aggregates over the
+  pre-update table are then computed from the post-update aggregates plus the
+  transition tables (Figure 16's ``deltaCount`` / ``HAVING SUM(...)``),
+  so ``B_old`` is never materialized or re-aggregated.
+
+* **Difference-check elision** — for injective views evaluated with pruned
+  transition tables, the final ``OLD_NODE ≠ NEW_NODE`` check is dropped
+  (Theorem 3).
+
+The result, :class:`CompiledTableTrigger`, carries both the faithful
+reference graph and the optimized executable graph, plus a Figure 16-style
+SQL rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import TriggerCompilationError
+from repro.relational.database import Database
+from repro.relational.triggers import TriggerContext, TriggerEvent
+from repro.xqgm.expressions import AttributeSpec, ColumnRef, ElementConstructor, Expression
+from repro.xqgm.evaluate import EvaluationContext, evaluate
+from repro.xqgm.graph import ensure_columns, replace_table_variant
+from repro.xqgm.keys import derive_keys
+from repro.xqgm.operators import JoinKind, JoinOp, Operator, ProjectOp, SelectOp, TableVariant
+from repro.xqgm.rewrite import compensate_old_aggregates, prune_columns, push_semijoin
+from repro.xqgm.views import PathGraph, ViewElementSpec
+from repro.core.affected_nodes import (
+    NEW_NODE,
+    OLD_NODE,
+    AffectedNodeGraph,
+    NodesDiffer,
+    create_an_graph,
+    _final_projection,
+    _node_side,
+    _union_affected_keys,
+)
+from repro.core.affected_keys import create_ak_graph
+from repro.core.events import RelationalEvent, events_by_table, get_source_events
+from repro.core.injectivity import path_graph_is_injective
+from repro.core.sqlgen import render_sql_trigger
+
+__all__ = [
+    "OldNodeRequirement",
+    "PushdownOptions",
+    "CompiledTableTrigger",
+    "translate_path",
+    "AffectedPair",
+]
+
+
+# What the triggers need to know about the pre-update node.
+class OldNodeRequirement:
+    """How much of OLD_NODE the triggers of a group actually reference."""
+
+    NONE = "none"  # OLD_NODE never referenced
+    SHALLOW = "shallow"  # only OLD_NODE attributes derived from the element key
+    FULL = "full"  # OLD_NODE descendants / arbitrary content
+
+
+@dataclass
+class PushdownOptions:
+    """Knobs selecting which Section 5 optimizations are applied."""
+
+    push_affected_keys: bool = True
+    use_pruned_transitions: bool = True
+    compensate_old_aggregates: bool = False
+    old_node_requirement: str = OldNodeRequirement.FULL
+    check_difference: bool | None = None  # None = skip iff injective (Theorem 3)
+
+
+@dataclass
+class AffectedPair:
+    """One (OLD_NODE, NEW_NODE) pair produced by an activated SQL trigger."""
+
+    key: tuple
+    old_node: Any
+    new_node: Any
+
+
+@dataclass
+class CompiledTableTrigger:
+    """The translation of one monitored path / XML event for one base table."""
+
+    table: str
+    xml_event: TriggerEvent
+    relational_events: dict[TriggerEvent, frozenset[str] | None]
+    path_graph: PathGraph
+    reference_graph: AffectedNodeGraph
+    executable_top: Operator
+    key_columns: tuple[str, ...]
+    injective: bool
+    checks_difference: bool
+    uses_compensation: bool
+    options: PushdownOptions
+    sql_text: str = ""
+
+    def affected_pairs(
+        self, database: Database, trigger_context: TriggerContext
+    ) -> list[AffectedPair]:
+        """Evaluate the executable graph for one fired statement."""
+        context = EvaluationContext(database, trigger_context)
+        rows = evaluate(self.executable_top, context)
+        pairs = []
+        for row in rows:
+            key = tuple(row[column] for column in self.key_columns)
+            pairs.append(AffectedPair(key=key, old_node=row[OLD_NODE], new_node=row[NEW_NODE]))
+        return pairs
+
+    @property
+    def sql_events(self) -> frozenset[TriggerEvent]:
+        """Relational events the generated SQL trigger must subscribe to."""
+        return frozenset(self.relational_events)
+
+
+def translate_path(
+    path_graph: PathGraph,
+    xml_event: TriggerEvent,
+    database: Database,
+    options: PushdownOptions | None = None,
+    trigger_name: str = "xmlTrigger",
+) -> dict[str, CompiledTableTrigger]:
+    """Translate one monitored path + XML event into per-table SQL triggers.
+
+    Runs Event Pushdown to find the relevant base tables, then builds the
+    affected-node graph and its optimized executable form for each.
+    """
+    options = options or PushdownOptions()
+    columns: frozenset[str] | None = None
+    if xml_event is TriggerEvent.UPDATE:
+        columns = frozenset({path_graph.node_column})
+    events = get_source_events(path_graph.top, xml_event, columns)
+    per_table = events_by_table(events)
+    if not per_table:
+        raise TriggerCompilationError(
+            f"no relational events can cause {xml_event.value} on "
+            f"{'/'.join(path_graph.path)!r}"
+        )
+
+    compiled: dict[str, CompiledTableTrigger] = {}
+    for table, relational_events in per_table.items():
+        compiled[table] = _translate_for_table(
+            path_graph, xml_event, table, relational_events, database, options, trigger_name
+        )
+    return compiled
+
+
+def _translate_for_table(
+    path_graph: PathGraph,
+    xml_event: TriggerEvent,
+    table: str,
+    relational_events: dict[TriggerEvent, frozenset[str] | None],
+    database: Database,
+    options: PushdownOptions,
+    trigger_name: str,
+) -> CompiledTableTrigger:
+    injective = path_graph_is_injective(path_graph, table)
+    if options.check_difference is not None:
+        check_difference = options.check_difference
+    else:
+        # Theorem 3: injective view + pruned transition tables need no check.
+        check_difference = not (injective and options.use_pruned_transitions)
+
+    reference = create_an_graph(
+        xml_event,
+        path_graph,
+        table,
+        database,
+        use_pruned_transitions=options.use_pruned_transitions,
+        check_difference=check_difference,
+    )
+
+    executable, uses_compensation = _build_executable(
+        reference, path_graph, table, database, options, check_difference
+    )
+
+    sql_text = render_sql_trigger(
+        name=f"sql_{trigger_name}_{table}",
+        table=table,
+        events=relational_events.keys(),
+        top=executable,
+        final_columns=[OLD_NODE, NEW_NODE, *reference.key_columns],
+        order_by=list(reference.key_columns),
+        action_comment=(
+            f"translated from XML trigger(s) on path "
+            f"view('{path_graph.view_name}')/{'/'.join(path_graph.path)}"
+        ),
+    )
+
+    return CompiledTableTrigger(
+        table=table,
+        xml_event=xml_event,
+        relational_events=dict(relational_events),
+        path_graph=path_graph,
+        reference_graph=reference,
+        executable_top=executable,
+        key_columns=reference.key_columns,
+        injective=injective,
+        checks_difference=check_difference,
+        uses_compensation=uses_compensation,
+        options=options,
+        sql_text=sql_text,
+    )
+
+
+def _build_executable(
+    reference: AffectedNodeGraph,
+    path_graph: PathGraph,
+    table: str,
+    database: Database,
+    options: PushdownOptions,
+    check_difference: bool,
+) -> tuple[Operator, bool]:
+    """Build the optimized graph actually evaluated inside the SQL trigger."""
+    # The affected-key semi-join pushdown and the old-aggregate compensation
+    # are currently applied when the monitored element is a top-level element
+    # of the view (a single-level path).  Triggers on nested paths (whose
+    # affected keys span several hierarchy levels) fall back to the faithful
+    # CreateANGraph plan, which is always correct.
+    single_level = len(path_graph.level_specs) == 1
+    options = PushdownOptions(
+        push_affected_keys=options.push_affected_keys and single_level,
+        use_pruned_transitions=options.use_pruned_transitions,
+        compensate_old_aggregates=options.compensate_old_aggregates and single_level,
+        old_node_requirement=options.old_node_requirement,
+        check_difference=options.check_difference,
+    )
+    if not options.push_affected_keys and not options.compensate_old_aggregates:
+        return reference.top, False
+
+    catalog = {name: database.schema(name) for name in database.table_names()}
+    g_top = path_graph.top
+    g_old_top = reference.g_old_top
+    key_columns = reference.key_columns
+    covered = reference.covered_key_columns
+    union_keys = reference.union_keys
+    union_key_columns = reference.union_key_columns
+    node_column = path_graph.node_column
+    assert union_keys is not None and g_old_top is not None
+
+    push_pairs = [
+        (graph_column, union_column)
+        for graph_column, union_column in zip(covered, union_key_columns)
+    ]
+
+    # ---- NEW side -------------------------------------------------------------
+    new_graph: Operator = g_top
+    if options.push_affected_keys:
+        new_graph = push_semijoin(g_top, push_pairs, union_keys)
+    new_side = _node_side(
+        union_keys, union_key_columns, new_graph, node_column, key_columns,
+        node_output=NEW_NODE, key_suffix="", label="new-nodes-pushed",
+        join_columns=covered,
+    )
+
+    # ---- OLD side -------------------------------------------------------------
+    uses_compensation = False
+    old_key_columns = tuple(f"{column}#old" for column in key_columns)
+    old_side: Operator | None = None
+
+    if options.compensate_old_aggregates and options.old_node_requirement != OldNodeRequirement.FULL:
+        old_side = _compensated_old_side(
+            reference, path_graph, table, catalog, options, key_columns, old_key_columns
+        )
+        uses_compensation = old_side is not None
+
+    if old_side is None:
+        old_graph: Operator = g_old_top
+        if options.push_affected_keys:
+            old_graph = push_semijoin(g_old_top, push_pairs, union_keys)
+        old_side = _node_side(
+            union_keys, union_key_columns, old_graph, node_column, key_columns,
+            node_output=OLD_NODE, key_suffix="#old", label="old-nodes-pushed",
+            join_columns=covered,
+        )
+
+    # ---- combine per event -------------------------------------------------------
+    pairs = [(new, old) for new, old in zip(key_columns, old_key_columns)]
+    event = reference.event
+    if event is TriggerEvent.UPDATE:
+        top: Operator = JoinOp([new_side, old_side], equi_pairs=pairs, label="an-update-join")
+        if check_difference:
+            top = SelectOp(top, NodesDiffer(), label="old-differs-from-new")
+        top = _final_projection(top, key_columns, old_key_columns, has_old=True, has_new=True)
+    elif event is TriggerEvent.INSERT:
+        anti = JoinOp(
+            [new_side, old_side], equi_pairs=pairs, kind=JoinKind.ANTI, label="an-insert-anti"
+        )
+        top = _final_projection(anti, key_columns, old_key_columns, has_old=False, has_new=True)
+    else:  # DELETE
+        anti = JoinOp(
+            [old_side, new_side],
+            equi_pairs=[(old, new) for new, old in pairs],
+            kind=JoinKind.ANTI,
+            label="an-delete-anti",
+        )
+        top = _final_projection(anti, key_columns, old_key_columns, has_old=True, has_new=False)
+
+    return top, uses_compensation
+
+
+def _compensated_old_side(
+    reference: AffectedNodeGraph,
+    path_graph: PathGraph,
+    table: str,
+    catalog: Mapping[str, Any],
+    options: PushdownOptions,
+    key_columns: tuple[str, ...],
+    old_key_columns: tuple[str, ...],
+) -> Operator | None:
+    """GROUPED-AGG old side: keys of pre-update nodes, without touching B_old.
+
+    Returns ``None`` when the rewrite does not apply (non-distributive
+    aggregates feeding the view's predicates, or the compensation being
+    structurally impossible), in which case the caller falls back to the
+    plain (pushed) ``G_old`` evaluation.
+    """
+    g_old_top = reference.g_old_top
+    union_keys = reference.union_keys
+    union_key_columns = reference.union_key_columns
+    assert g_old_top is not None and union_keys is not None
+
+    # Only the key columns (plus whatever the view's own predicates reference,
+    # which prune_columns keeps automatically) are needed on the old side.
+    try:
+        pruned = prune_columns(g_old_top, list(key_columns))
+    except Exception:
+        return None
+
+    # Pull up the columns feeding the monitored element's attributes so a
+    # shallow OLD_NODE (attributes only, no children) can still be built —
+    # they are grouping columns of the view's GroupBy, so no aggregation over
+    # B_old is needed for them.
+    spec = path_graph.level_specs[-1]
+    attribute_columns: list[str] = []
+    for _, source in spec.attributes:
+        expression = ColumnRef(source) if isinstance(source, str) else source
+        for column in sorted(expression.referenced_columns()):
+            if column in attribute_columns:
+                continue
+            try:
+                ensure_columns(pruned, [column])
+                attribute_columns.append(column)
+            except Exception:
+                continue
+
+    compensated = compensate_old_aggregates(pruned, table)
+    if compensated is None:
+        return None
+
+    covered = reference.covered_key_columns
+    old_graph: Operator = compensated
+    if options.push_affected_keys:
+        pairs = [
+            (graph_column, union_column)
+            for graph_column, union_column in zip(covered, union_key_columns)
+        ]
+        try:
+            old_graph = push_semijoin(compensated, pairs, union_keys)
+        except Exception:
+            old_graph = compensated
+
+    joined = JoinOp(
+        [union_keys, old_graph],
+        equi_pairs=[
+            (union_column, graph_column)
+            for graph_column, union_column in zip(covered, union_key_columns)
+        ],
+        label="old-keys-compensated",
+    )
+
+    # Shallow OLD_NODE: the monitored element with only those attributes whose
+    # source columns survived on the old side (key columns and group-level
+    # columns) — sufficient for conditions such as OLD_NODE/@name = '...';
+    # no children are reconstructed.
+    old_node_expression = _shallow_node_expression(
+        spec, list(key_columns) + attribute_columns
+    )
+    projections: list[tuple[str, Expression]] = [(OLD_NODE, old_node_expression)]
+    for column, old_column in zip(key_columns, old_key_columns):
+        projections.append((old_column, ColumnRef(column)))
+    return ProjectOp(joined, projections, label="old-nodes-compensated")
+
+
+def _shallow_node_expression(spec: ViewElementSpec, key_columns: Sequence[str]) -> Expression:
+    attributes: list[AttributeSpec] = []
+    available = set(key_columns)
+    for attribute_name, source in spec.attributes:
+        expression = ColumnRef(source) if isinstance(source, str) else source
+        if expression.referenced_columns() <= available:
+            attributes.append(AttributeSpec(attribute_name, expression))
+    return ElementConstructor(spec.name, tuple(attributes), ())

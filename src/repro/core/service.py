@@ -1,0 +1,392 @@
+"""The active XML-view middleware (the "Quark + triggers" system of Figure 6).
+
+:class:`ActiveViewService` ties the whole pipeline together:
+
+1. users register :class:`~repro.xqgm.views.ViewDefinition` objects and
+   external action functions;
+2. ``CREATE TRIGGER`` statements (text or :class:`TriggerSpec`) are parsed,
+   composed with their view, pushed through Event Pushdown, translated via
+   CreateAKGraph / CreateANGraph, grouped with structurally similar triggers,
+   and installed as statement-level SQL triggers on the base tables;
+3. ordinary relational DML executed through the service (or directly against
+   the :class:`~repro.relational.Database`) fires those SQL triggers, whose
+   bodies compute the (OLD_NODE, NEW_NODE) pairs, evaluate each XML trigger's
+   condition, and invoke its action.
+
+Three execution modes reproduce the systems evaluated in Section 6:
+``UNGROUPED``, ``GROUPED``, and ``GROUPED_AGG``.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import TriggerCompilationError, TriggerError
+from repro.relational.database import Database
+from repro.relational.dml import Statement, StatementResult
+from repro.relational.triggers import StatementTrigger, TriggerContext, TriggerEvent
+from repro.xmlmodel.node import XmlNode
+from repro.xmlmodel.xpath import XPath
+from repro.xqgm.views import PathGraph, ViewDefinition
+from repro.core.activation import ActionRegistry, TriggerActivator
+from repro.core.grouping import ConstantsRow, TriggerGroup, group_triggers
+from repro.core.language import parse_trigger
+from repro.core.pushdown import (
+    CompiledTableTrigger,
+    OldNodeRequirement,
+    PushdownOptions,
+    translate_path,
+)
+from repro.core.semantics import check_trigger_specifiable
+from repro.core.trigger import ActionCall, TriggerSpec
+
+__all__ = ["ExecutionMode", "FiredTrigger", "ActiveViewService"]
+
+
+class ExecutionMode(enum.Enum):
+    """The three systems evaluated in Section 6 of the paper."""
+
+    UNGROUPED = "ungrouped"
+    GROUPED = "grouped"
+    GROUPED_AGG = "grouped_agg"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class FiredTrigger:
+    """Record of one XML trigger firing for one affected node."""
+
+    trigger: str
+    view: str
+    path: tuple[str, ...]
+    event: TriggerEvent
+    key: tuple
+    old_node: XmlNode | None
+    new_node: XmlNode | None
+    action_call: ActionCall | None = None
+
+
+@dataclass
+class _CompiledGroup:
+    """A trigger group together with its installed SQL triggers."""
+
+    group: TriggerGroup
+    translations: dict[str, CompiledTableTrigger] = field(default_factory=dict)
+    sql_trigger_names: list[str] = field(default_factory=list)
+    condition: XPath | None = None
+    arguments: tuple[XPath, ...] = ()
+    constants_cache: list[ConstantsRow] | None = None
+    compile_seconds: float = 0.0
+
+    def constants_rows(self) -> list[ConstantsRow]:
+        if self.constants_cache is None:
+            self.constants_cache = self.group.constants_table()
+        return self.constants_cache
+
+    def invalidate_constants(self) -> None:
+        self.constants_cache = None
+
+
+class ActiveViewService:
+    """Middleware exposing active (trigger-enabled) XML views of relational data."""
+
+    def __init__(
+        self,
+        database: Database,
+        mode: ExecutionMode = ExecutionMode.GROUPED_AGG,
+        *,
+        push_affected_keys: bool = True,
+        use_pruned_transitions: bool = True,
+        create_indexes: bool = True,
+        strict_actions: bool = False,
+    ) -> None:
+        self.database = database
+        self.mode = mode
+        self.push_affected_keys = push_affected_keys
+        self.use_pruned_transitions = use_pruned_transitions
+        self.create_indexes = create_indexes
+        self.registry = ActionRegistry()
+        self.activator = TriggerActivator(self.registry, strict=strict_actions)
+        self._views: dict[str, ViewDefinition] = {}
+        self._triggers: dict[str, TriggerSpec] = {}
+        self._groups: dict[tuple, _CompiledGroup] = {}
+        self._path_graphs: dict[tuple[str, tuple[str, ...]], PathGraph] = {}
+        self._fired: list[FiredTrigger] = []
+        self._sql_trigger_counter = 0
+        self.last_compile_seconds = 0.0
+
+    # ------------------------------------------------------------------ registration
+
+    def register_view(self, view: ViewDefinition) -> None:
+        """Register an XML view definition (must be trigger-specifiable)."""
+        if view.name in self._views:
+            raise TriggerError(f"view {view.name!r} already registered")
+        for table in view.base_tables():
+            if not self.database.has_table(table):
+                raise TriggerError(
+                    f"view {view.name!r} references unknown table {table!r}"
+                )
+        self._views[view.name] = view
+
+    def register_action(self, name: str, function: Callable[..., Any]) -> None:
+        """Register an external action function callable from trigger actions."""
+        self.registry.register(name, function)
+
+    def view(self, name: str) -> ViewDefinition:
+        """Look up a registered view."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise TriggerError(f"unknown view {name!r}") from None
+
+    @property
+    def views(self) -> list[str]:
+        """Names of registered views."""
+        return list(self._views)
+
+    @property
+    def triggers(self) -> list[TriggerSpec]:
+        """All registered XML trigger specs."""
+        return list(self._triggers.values())
+
+    # ------------------------------------------------------------------ triggers
+
+    def create_trigger(self, definition: str | TriggerSpec) -> TriggerSpec:
+        """Create an XML trigger from ``CREATE TRIGGER`` text or a spec.
+
+        Parsing, view composition, event pushdown, affected-node graph
+        generation, grouping and pushdown all happen here (trigger *compile
+        time*); the resulting SQL triggers are registered on the database.
+        """
+        started = time.perf_counter()
+        spec = parse_trigger(definition) if isinstance(definition, str) else definition
+        if spec.name in self._triggers:
+            raise TriggerError(f"trigger {spec.name!r} already exists")
+        view = self.view(spec.view)
+
+        signature = self._group_signature(spec)
+        compiled = self._groups.get(signature)
+        if compiled is None:
+            group = TriggerGroup(spec.structural_signature())
+            group.add(spec)
+            compiled = self._compile_group(group, spec)
+            self._groups[signature] = compiled
+        else:
+            compiled.group.add(spec)
+            compiled.invalidate_constants()
+        self._triggers[spec.name] = spec
+        self.last_compile_seconds = time.perf_counter() - started
+        compiled.compile_seconds += self.last_compile_seconds
+        return spec
+
+    def drop_trigger(self, name: str) -> None:
+        """Drop an XML trigger (and its SQL triggers when the group empties)."""
+        spec = self._triggers.pop(name, None)
+        if spec is None:
+            raise TriggerError(f"no such trigger {name!r}")
+        signature = self._group_signature(spec)
+        compiled = self._groups.get(signature)
+        if compiled is None:
+            return
+        compiled.group.remove(name)
+        compiled.invalidate_constants()
+        if not compiled.group.members:
+            for sql_name in compiled.sql_trigger_names:
+                self.database.drop_trigger(sql_name)
+            del self._groups[signature]
+
+    def generated_sql(self, trigger_name: str) -> list[str]:
+        """The SQL text of the statement triggers generated for an XML trigger."""
+        spec = self._triggers.get(trigger_name)
+        if spec is None:
+            raise TriggerError(f"no such trigger {trigger_name!r}")
+        compiled = self._groups[self._group_signature(spec)]
+        return [translation.sql_text for translation in compiled.translations.values()]
+
+    def group_count(self) -> int:
+        """Number of trigger groups (== number of generated SQL trigger sets)."""
+        return len(self._groups)
+
+    # ------------------------------------------------------------------ execution
+
+    def execute(self, statement: Statement) -> StatementResult:
+        """Execute a DML statement; SQL triggers fire and XML triggers activate."""
+        mark = len(self._fired)
+        result = self.database.execute(statement)
+        result.fired_xml_triggers = [fired.trigger for fired in self._fired[mark:]]
+        return result
+
+    def insert(self, table: str, rows) -> StatementResult:
+        """Convenience INSERT through the service."""
+        if isinstance(rows, Mapping):
+            rows = [rows]
+        from repro.relational.dml import InsertStatement
+
+        return self.execute(InsertStatement(table, rows))
+
+    def update(self, table: str, assignments, where=None) -> StatementResult:
+        """Convenience UPDATE through the service."""
+        from repro.relational.dml import UpdateStatement
+
+        return self.execute(UpdateStatement(table, assignments, where))
+
+    def delete(self, table: str, where=None) -> StatementResult:
+        """Convenience DELETE through the service."""
+        from repro.relational.dml import DeleteStatement
+
+        return self.execute(DeleteStatement(table, where))
+
+    # ------------------------------------------------------------------ results
+
+    @property
+    def fired(self) -> list[FiredTrigger]:
+        """Every XML trigger firing observed so far (most recent last)."""
+        return self._fired
+
+    @property
+    def action_calls(self) -> list[ActionCall]:
+        """Every action invocation performed so far."""
+        return self.activator.call_log
+
+    def clear_logs(self) -> None:
+        """Forget recorded firings and action calls (used between benchmark runs)."""
+        self._fired.clear()
+        self.activator.reset_log()
+
+    # ------------------------------------------------------------------ internals
+
+    def _group_signature(self, spec: TriggerSpec) -> tuple:
+        if self.mode is ExecutionMode.UNGROUPED:
+            # No sharing: every trigger is its own group (its own SQL triggers).
+            return ("__ungrouped__", spec.name)
+        return spec.structural_signature()
+
+    def _path_graph(self, spec: TriggerSpec) -> PathGraph:
+        key = (spec.view, spec.path)
+        graph = self._path_graphs.get(key)
+        if graph is None:
+            view = self.view(spec.view)
+            graph = view.path_graph(spec.path, self.database)
+            check_trigger_specifiable(graph.top, self.database)
+            self._path_graphs[key] = graph
+            if self.create_indexes:
+                self._create_join_indexes(view)
+        return graph
+
+    def _create_join_indexes(self, view: ViewDefinition) -> None:
+        """Build hash indexes on foreign-key join columns (Section 6.1 setup)."""
+        for table_name in view.base_tables():
+            table = self.database.table(table_name)
+            for fk in table.schema.foreign_keys:
+                if not table.has_index_on(fk.columns):
+                    table.create_index(f"fk_{table_name}_{'_'.join(fk.columns)}", fk.columns)
+
+    def _pushdown_options(self, group: TriggerGroup) -> PushdownOptions:
+        requirement = OldNodeRequirement.NONE
+        for member in group.members:
+            if member.spec.references_old_node_content():
+                requirement = OldNodeRequirement.FULL
+                break
+            if member.spec.references_old_node():
+                requirement = OldNodeRequirement.SHALLOW
+        return PushdownOptions(
+            push_affected_keys=self.push_affected_keys,
+            use_pruned_transitions=self.use_pruned_transitions,
+            compensate_old_aggregates=(self.mode is ExecutionMode.GROUPED_AGG),
+            old_node_requirement=requirement,
+        )
+
+    def _compile_group(self, group: TriggerGroup, spec: TriggerSpec) -> _CompiledGroup:
+        path_graph = self._path_graph(spec)
+        options = self._pushdown_options(group)
+        translations = translate_path(
+            path_graph, spec.event, self.database, options, trigger_name=spec.name
+        )
+        compiled = _CompiledGroup(
+            group=group,
+            translations=translations,
+            condition=group.parameterized_condition(),
+            arguments=group.parameterized_arguments(),
+        )
+        for table, translation in translations.items():
+            self._sql_trigger_counter += 1
+            sql_name = f"sqlTrigger{self._sql_trigger_counter}_{table}"
+            trigger = StatementTrigger(
+                name=sql_name,
+                table=table,
+                events=translation.sql_events,
+                body=self._make_trigger_body(compiled, translation),
+                sql_text=translation.sql_text,
+                metadata={
+                    "xml_trigger_group": group.signature,
+                    "mode": self.mode.value,
+                    "uses_compensation": translation.uses_compensation,
+                },
+            )
+            self.database.register_trigger(trigger)
+            compiled.sql_trigger_names.append(sql_name)
+        return compiled
+
+    def _make_trigger_body(
+        self, compiled: _CompiledGroup, translation: CompiledTableTrigger
+    ) -> Callable[[TriggerContext], None]:
+        def body(context: TriggerContext) -> None:
+            pairs = translation.affected_pairs(self.database, context)
+            if not pairs:
+                return
+            self._activate_group(compiled, translation, pairs)
+
+        return body
+
+    def _activate_group(
+        self,
+        compiled: _CompiledGroup,
+        translation: CompiledTableTrigger,
+        pairs,
+    ) -> None:
+        spec_by_name = {member.spec.name: member.spec for member in compiled.group.members}
+        constants_rows = compiled.constants_rows()
+        condition = compiled.condition
+        arguments = compiled.arguments
+        for pair in pairs:
+            variables = {"OLD_NODE": pair.old_node, "NEW_NODE": pair.new_node}
+            for row in constants_rows:
+                if condition is not None and not condition.as_boolean(
+                    variables, parameters=row.condition_constants
+                ):
+                    continue
+                for trigger_name in row.trigger_names:
+                    spec = spec_by_name.get(trigger_name)
+                    if spec is None:  # dropped concurrently
+                        continue
+                    call = self.activator.activate(
+                        spec,
+                        pair.old_node,
+                        pair.new_node,
+                        key=pair.key,
+                        compiled_args=arguments,
+                        argument_parameters=row.argument_constants,
+                    )
+                    self._fired.append(
+                        FiredTrigger(
+                            trigger=spec.name,
+                            view=spec.view,
+                            path=spec.path,
+                            event=spec.event,
+                            key=pair.key,
+                            old_node=pair.old_node,
+                            new_node=pair.new_node,
+                            action_call=call,
+                        )
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ActiveViewService(mode={self.mode.value}, views={len(self._views)}, "
+            f"triggers={len(self._triggers)}, groups={len(self._groups)})"
+        )

@@ -1,0 +1,260 @@
+"""Rendering generated trigger plans as SQL text (Figure 16 of the paper).
+
+The executable form of a translated trigger in this system is an XQGM plan
+evaluated by the relational engine.  For inspection, documentation, and the
+Figure 16 reproduction, this module renders such a plan as a readable SQL
+statement-level trigger: one common-table expression per operator, XML
+construction shown with the SQL/XML ``XMLELEMENT`` / ``XMLAGG`` functions
+(as DB2 would), transition tables referenced as ``INSERTED`` / ``DELETED``,
+and the pre-update table as the ``(B EXCEPT ΔB) UNION ∇B`` derived table.
+
+The rendering is faithful to the plan's structure; it is meant for humans
+(and golden-file tests), not for round-tripping through a SQL parser.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.relational.triggers import TriggerEvent
+from repro.xqgm.expressions import (
+    AggregateSpec,
+    Arithmetic,
+    AttributeSpec,
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    Constant,
+    ElementConstructor,
+    Expression,
+    IsNull,
+    Parameter,
+    TextConstructor,
+)
+from repro.xqgm.graph import walk
+from repro.xqgm.operators import (
+    ConstantsOp,
+    GroupByOp,
+    JoinKind,
+    JoinOp,
+    Operator,
+    ProjectOp,
+    SelectOp,
+    TableOp,
+    TableVariant,
+    UnionOp,
+    UnnestOp,
+)
+
+__all__ = ["render_sql_trigger", "render_plan_sql", "render_expression"]
+
+
+def _identifier(name: str) -> str:
+    """Render a column name as a SQL identifier (quote qualified names)."""
+    if name.replace("_", "").isalnum() and not name[0].isdigit():
+        return name
+    return '"' + name.replace('"', '""') + '"'
+
+
+def render_expression(expression: Expression) -> str:
+    """Render a tuple-level expression as SQL text."""
+    if isinstance(expression, ColumnRef):
+        return _identifier(expression.name)
+    if isinstance(expression, Constant):
+        value = expression.value
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, (int, float)):
+            return repr(value)
+        return "'" + str(value).replace("'", "''") + "'"
+    if isinstance(expression, Parameter):
+        return f":{expression.name}"
+    if isinstance(expression, Comparison):
+        return (
+            f"({render_expression(expression.left)} {expression.op} "
+            f"{render_expression(expression.right)})"
+        )
+    if isinstance(expression, Arithmetic):
+        return (
+            f"({render_expression(expression.left)} {expression.op} "
+            f"{render_expression(expression.right)})"
+        )
+    if isinstance(expression, BooleanExpr):
+        if expression.op == "not":
+            return f"(NOT {render_expression(expression.operands[0])})"
+        joiner = f" {expression.op.upper()} "
+        return "(" + joiner.join(render_expression(o) for o in expression.operands) + ")"
+    if isinstance(expression, IsNull):
+        suffix = "IS NOT NULL" if expression.negate else "IS NULL"
+        return f"({render_expression(expression.operand)} {suffix})"
+    if isinstance(expression, ElementConstructor):
+        parts = [f"NAME \"{expression.name}\""]
+        if expression.attributes:
+            attributes = ", ".join(
+                f"{render_expression(a.value)} AS \"{a.name}\"" for a in expression.attributes
+            )
+            parts.append(f"XMLATTRIBUTES({attributes})")
+        labels = expression.child_labels or (None,) * len(expression.children)
+        for label, child in zip(labels, expression.children):
+            rendered = render_expression(child)
+            if label is not None:
+                rendered = f"XMLELEMENT(NAME \"{label}\", {rendered})"
+            parts.append(rendered)
+        return "XMLELEMENT(" + ", ".join(parts) + ")"
+    if isinstance(expression, TextConstructor):
+        return f"XMLTEXT({render_expression(expression.value)})"
+    # Fall back to the expression's own string form (e.g. NodesDiffer).
+    return str(expression)
+
+
+def _render_aggregate(aggregate: AggregateSpec) -> str:
+    if aggregate.func == "count":
+        argument = "*" if aggregate.argument is None else render_expression(aggregate.argument)
+        return f"COUNT({argument}) AS {_identifier(aggregate.name)}"
+    if aggregate.func == "xmlfrag":
+        return f"XMLAGG({render_expression(aggregate.argument)}) AS {_identifier(aggregate.name)}"
+    return f"{aggregate.func.upper()}({render_expression(aggregate.argument)}) AS {_identifier(aggregate.name)}"
+
+
+_VARIANT_SQL = {
+    TableVariant.CURRENT: "{table}",
+    TableVariant.OLD: "(SELECT * FROM {table} EXCEPT SELECT * FROM INSERTED UNION SELECT * FROM DELETED)",
+    TableVariant.DELTA_INSERTED: "INSERTED",
+    TableVariant.DELTA_DELETED: "DELETED",
+    TableVariant.PRUNED_INSERTED: "(SELECT * FROM INSERTED EXCEPT ALL SELECT * FROM DELETED)",
+    TableVariant.PRUNED_DELETED: "(SELECT * FROM DELETED EXCEPT ALL SELECT * FROM INSERTED)",
+}
+
+
+class _Renderer:
+    def __init__(self) -> None:
+        self.cte_lines: list[str] = []
+        self.names: dict[int, str] = {}
+        self.counter = 0
+
+    def name_for(self, op: Operator) -> str:
+        if op.id not in self.names:
+            self.counter += 1
+            label = (op.label or op.kind).replace("[", "_").replace("]", "").replace("-", "_")
+            label = "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in label)
+            self.names[op.id] = f"q{self.counter}_{label}"
+        return self.names[op.id]
+
+    # -- operator rendering -------------------------------------------------------
+
+    def render(self, op: Operator) -> str:
+        """Render the subplan rooted at ``op``; returns its CTE name."""
+        if op.id in self.names:
+            return self.names[op.id]
+        input_names = [self.render(input_op) for input_op in op.inputs]
+        name = self.name_for(op)
+        body = self._body(op, input_names)
+        self.cte_lines.append(f"{name} AS (\n{_indent(body, 2)}\n)")
+        return name
+
+    def _body(self, op: Operator, inputs: list[str]) -> str:
+        if isinstance(op, TableOp):
+            source = _VARIANT_SQL[op.variant].format(table=op.table)
+            columns = ", ".join(
+                f"{op.alias}.{column} AS {_identifier(op.qualified(column))}" for column in op.columns
+            )
+            return f"SELECT {columns}\nFROM {source} AS {op.alias}"
+        if isinstance(op, ConstantsOp):
+            columns = ", ".join(_identifier(column) for column in op.output_columns)
+            return f"SELECT {columns}\nFROM {op.name}"
+        if isinstance(op, SelectOp):
+            return (
+                f"SELECT *\nFROM {inputs[0]}\nWHERE {render_expression(op.predicate)}"
+            )
+        if isinstance(op, ProjectOp):
+            columns = ",\n       ".join(
+                f"{render_expression(expression)} AS {_identifier(name)}"
+                for name, expression in op.projections
+            )
+            return f"SELECT {columns}\nFROM {inputs[0]}"
+        if isinstance(op, JoinOp):
+            return self._join_body(op, inputs)
+        if isinstance(op, GroupByOp):
+            select_items = [f"{_identifier(column)}" for column in op.grouping]
+            select_items += [_render_aggregate(aggregate) for aggregate in op.aggregates]
+            body = f"SELECT {', '.join(select_items) if select_items else '1'}\nFROM {inputs[0]}"
+            if op.grouping:
+                body += f"\nGROUP BY {', '.join(_identifier(c) for c in op.grouping)}"
+            return body
+        if isinstance(op, UnionOp):
+            keyword = "UNION ALL" if op.all else "UNION"
+            selects = []
+            for input_name, mapping in zip(inputs, op.mappings):
+                columns = ", ".join(
+                    f"{_identifier(mapping[column])} AS {_identifier(column)}"
+                    for column in op.output_columns
+                )
+                selects.append(f"SELECT {columns} FROM {input_name}")
+            return f"\n{keyword}\n".join(selects)
+        if isinstance(op, UnnestOp):
+            return (
+                f"SELECT {inputs[0]}.*, item.value AS {_identifier(op.item_column)}\n"
+                f"FROM {inputs[0]}, XMLTABLE({_identifier(op.source_column)}) AS item"
+            )
+        return f"SELECT * FROM {inputs[0] if inputs else 'VALUES(1)'}"  # pragma: no cover
+
+    def _join_body(self, op: JoinOp, inputs: list[str]) -> str:
+        conditions = [f"{_identifier(a)} = {_identifier(b)}" for a, b in op.equi_pairs]
+        if op.condition is not None:
+            conditions.append(render_expression(op.condition))
+        condition_text = " AND ".join(conditions) if conditions else "1 = 1"
+        if op.join_kind is JoinKind.INNER:
+            return f"SELECT *\nFROM {', '.join(inputs)}\nWHERE {condition_text}"
+        if op.join_kind is JoinKind.LEFT_OUTER:
+            return (
+                f"SELECT *\nFROM {inputs[0]} LEFT OUTER JOIN {inputs[1]}\n  ON {condition_text}"
+            )
+        # Anti join
+        return (
+            f"SELECT *\nFROM {inputs[0]}\nWHERE NOT EXISTS (SELECT 1 FROM {inputs[1]} "
+            f"WHERE {condition_text})"
+        )
+
+
+def _indent(text: str, spaces: int) -> str:
+    pad = " " * spaces
+    return "\n".join(pad + line for line in text.splitlines())
+
+
+def render_plan_sql(top: Operator, final_columns: Iterable[str] | None = None) -> str:
+    """Render a plan as ``WITH ... SELECT`` text."""
+    renderer = _Renderer()
+    final_name = renderer.render(top)
+    columns = ", ".join(_identifier(c) for c in (final_columns or top.output_columns))
+    with_clause = ",\n".join(renderer.cte_lines)
+    return f"WITH {with_clause}\nSELECT {columns}\nFROM {final_name}"
+
+
+def render_sql_trigger(
+    name: str,
+    table: str,
+    events: Iterable[TriggerEvent],
+    top: Operator,
+    final_columns: Iterable[str] | None = None,
+    order_by: Iterable[str] | None = None,
+    action_comment: str | None = None,
+) -> str:
+    """Render a full ``CREATE TRIGGER`` statement in the style of Figure 16."""
+    events = list(events)
+    event_text = " OR ".join(sorted(event.value for event in events))
+    body = render_plan_sql(top, final_columns)
+    if order_by:
+        body += f"\nORDER BY {', '.join(_identifier(c) for c in order_by)}"
+    lines = [
+        f"CREATE TRIGGER {name}",
+        f"AFTER {event_text} ON {table.upper()}",
+        "REFERENCING OLD_TABLE AS DELETED, NEW_TABLE AS INSERTED",
+        "FOR EACH STATEMENT",
+        "",
+    ]
+    if action_comment:
+        lines.append(f"-- {action_comment}")
+    lines.append(body)
+    return "\n".join(lines)

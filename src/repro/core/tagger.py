@@ -1,0 +1,153 @@
+"""The constant-space tagger (Section 3.2 / XPERANTO [23]).
+
+The generated SQL trigger of Figure 16 produces a *sorted outer union*: one
+relational row per XML node, tagged with the node's level in the hierarchy
+and ordered so that a parent row immediately precedes its children.  The
+tagger converts that row stream into XML using memory proportional to the
+view's depth (a stack of open elements), never to the result size — which is
+what allows very large results to be tagged without buffering.
+
+The tagger is driven by a :class:`TaggerSchema` describing each level:
+element name, key columns (used to detect when a new element starts),
+attribute columns, and scalar content columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import XmlError
+from repro.xmlmodel.node import Element
+
+__all__ = ["TaggerLevel", "TaggerSchema", "Tagger", "tag_rows"]
+
+LEVEL_COLUMN = "__level"
+
+
+@dataclass
+class TaggerLevel:
+    """Description of one hierarchy level of the sorted outer union."""
+
+    element_name: str
+    key_columns: tuple[str, ...]
+    attribute_columns: tuple[tuple[str, str], ...] = ()  # (attribute name, column)
+    content_columns: tuple[tuple[str, str], ...] = ()  # (child tag, column)
+
+    def build_element(self, row: Mapping[str, Any]) -> Element:
+        """Construct this level's (childless) element from an outer-union row."""
+        element = Element(self.element_name)
+        for attribute_name, column in self.attribute_columns:
+            value = row.get(column)
+            element.set_attribute(attribute_name, "" if value is None else value)
+        for tag, column in self.content_columns:
+            child = Element(tag)
+            value = row.get(column)
+            if value is not None:
+                child.append(value)
+            element.append(child)
+        return element
+
+
+@dataclass
+class TaggerSchema:
+    """An ordered list of levels, outermost first."""
+
+    levels: tuple[TaggerLevel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise XmlError("tagger schema needs at least one level")
+        self.levels = tuple(self.levels)
+
+    @property
+    def depth(self) -> int:
+        """Number of levels."""
+        return len(self.levels)
+
+
+class Tagger:
+    """Streaming, constant-space assembly of elements from sorted rows.
+
+    Rows must carry a ``__level`` column (0 = outermost level) and be sorted
+    so that each parent row comes immediately before its descendants, and all
+    rows of one subtree are contiguous (exactly what the ``ORDER BY`` of the
+    generated outer-union query guarantees).  Completed top-level elements
+    are emitted as soon as the next top-level row (or end of input) is seen.
+    """
+
+    def __init__(self, schema: TaggerSchema) -> None:
+        self.schema = schema
+        self._stack: list[Element] = []
+        self._emitted = 0
+
+    # -- streaming interface ------------------------------------------------------
+
+    def feed(self, row: Mapping[str, Any]) -> Iterator[Element]:
+        """Feed one outer-union row; yields any completed top-level elements."""
+        level = row.get(LEVEL_COLUMN)
+        if level is None:
+            raise XmlError(f"outer-union row is missing the {LEVEL_COLUMN!r} column")
+        level = int(level)
+        if not 0 <= level < self.schema.depth:
+            raise XmlError(
+                f"outer-union row level {level} out of range 0..{self.schema.depth - 1}"
+            )
+        if level > len(self._stack):
+            raise XmlError(
+                f"outer-union rows out of order: level {level} row with only "
+                f"{len(self._stack)} open ancestors"
+            )
+
+        # Close any levels deeper than or equal to the new row's level.
+        completed: Element | None = None
+        while len(self._stack) > level:
+            closed = self._stack.pop()
+            if self._stack:
+                self._stack[-1].append(closed)
+            else:
+                completed = closed
+        if completed is not None:
+            self._emitted += 1
+            yield completed
+
+        element = self.schema.levels[level].build_element(row)
+        self._stack.append(element)
+
+    def finish(self) -> Iterator[Element]:
+        """Flush the remaining open elements; yields the last top-level element."""
+        completed: Element | None = None
+        while self._stack:
+            closed = self._stack.pop()
+            if self._stack:
+                self._stack[-1].append(closed)
+            else:
+                completed = closed
+        if completed is not None:
+            self._emitted += 1
+            yield completed
+
+    # -- convenience ---------------------------------------------------------------
+
+    def tag(self, rows: Iterable[Mapping[str, Any]]) -> list[Element]:
+        """Tag an entire row stream and return the top-level elements."""
+        output: list[Element] = []
+        for row in rows:
+            output.extend(self.feed(row))
+        output.extend(self.finish())
+        return output
+
+    @property
+    def open_depth(self) -> int:
+        """Number of currently open elements (bounded by the schema depth)."""
+        return len(self._stack)
+
+    @property
+    def emitted(self) -> int:
+        """Number of completed top-level elements emitted so far."""
+        return self._emitted
+
+
+def tag_rows(schema: TaggerSchema, rows: Iterable[Mapping[str, Any]]) -> list[Element]:
+    """One-shot helper: tag ``rows`` according to ``schema``."""
+    return Tagger(schema).tag(rows)

@@ -1,0 +1,135 @@
+"""XML trigger definitions (Section 2.2 of the paper).
+
+A trigger has a name, an event (INSERT / UPDATE / DELETE on view nodes), a
+monitored *Path* into a view, an optional Boolean *Condition* over the
+``OLD_NODE`` / ``NEW_NODE`` variables, and an *Action*: a call to an external
+function whose parameters are XQuery expressions over the same variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import TriggerSyntaxError
+from repro.relational.triggers import TriggerEvent
+from repro.xmlmodel.node import XmlNode
+from repro.xmlmodel.xpath import XPath, expression_shape, split_constants
+
+__all__ = ["TriggerSpec", "ActionCall", "XmlTriggerEvent"]
+
+# The XML trigger events are the same three verbs as relational events.
+XmlTriggerEvent = TriggerEvent
+
+
+@dataclass
+class TriggerSpec:
+    """A parsed XML trigger definition.
+
+    ``condition`` and each action argument are XPath/XQuery expressions over
+    the variables ``OLD_NODE`` and ``NEW_NODE`` (only ``NEW_NODE`` is bound
+    for INSERT events and only ``OLD_NODE`` for DELETE events).
+    """
+
+    name: str
+    event: XmlTriggerEvent
+    view: str
+    path: tuple[str, ...]
+    condition: str | None = None
+    action_name: str = "notify"
+    action_args: tuple[str, ...] = ()
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TriggerSyntaxError("trigger name must be non-empty")
+        if not self.path:
+            raise TriggerSyntaxError(f"trigger {self.name!r}: path must not be empty")
+        self.path = tuple(self.path)
+        self.action_args = tuple(self.action_args)
+
+    # -- compiled pieces ---------------------------------------------------------
+
+    def compiled_condition(self) -> XPath | None:
+        """The condition compiled to an XPath expression (or ``None``)."""
+        if self.condition is None or not self.condition.strip():
+            return None
+        return XPath(self.condition)
+
+    def compiled_args(self) -> tuple[XPath, ...]:
+        """The action arguments compiled to XPath expressions."""
+        return tuple(XPath(arg) for arg in self.action_args)
+
+    # -- grouping signature (Section 5.1) -----------------------------------------
+
+    def structural_signature(self) -> tuple:
+        """Signature under which structurally similar triggers are grouped.
+
+        Two triggers share a group (and hence one generated SQL trigger per
+        table-event) iff they monitor the same view path for the same event
+        and their conditions / action parameters differ only in literal
+        constants.
+        """
+        condition_shape = (
+            expression_shape(self.condition) if self.condition and self.condition.strip() else None
+        )
+        argument_shapes = tuple(expression_shape(argument) for argument in self.action_args)
+        return (self.view, self.path, self.event.value, condition_shape,
+                self.action_name, argument_shapes)
+
+    def condition_constants(self) -> tuple[Any, ...]:
+        """The literal constants of the condition (a row of the constants table)."""
+        if self.condition is None or not self.condition.strip():
+            return ()
+        _, constants = split_constants(self.condition)
+        return tuple(constants)
+
+    def references_old_node(self) -> bool:
+        """Whether the condition or any action argument mentions ``OLD_NODE``."""
+        texts = [self.condition or ""] + list(self.action_args)
+        return any("OLD_NODE" in text for text in texts)
+
+    def references_old_node_content(self) -> bool:
+        """Whether ``OLD_NODE``'s *descendants* are referenced (not just attributes).
+
+        Used by the GROUPED-AGG strategy: if only existence and attributes of
+        the old node are needed, the old node's children never have to be
+        constructed.
+        """
+        texts = [self.condition or ""] + list(self.action_args)
+        for text in texts:
+            index = text.find("OLD_NODE")
+            while index != -1:
+                rest = text[index + len("OLD_NODE"):]
+                stripped = rest.lstrip()
+                if stripped.startswith("/") and not stripped.startswith("/@"):
+                    return True
+                index = text.find("OLD_NODE", index + 1)
+        return False
+
+    def path_string(self) -> str:
+        """The monitored path as ``view('name')/a/b`` text."""
+        return f"view('{self.view}')/" + "/".join(self.path)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" WHERE {self.condition}" if self.condition else ""
+        args = ", ".join(self.action_args)
+        return (
+            f"CREATE TRIGGER {self.name} AFTER {self.event.value} ON "
+            f"{self.path_string()}{where} DO {self.action_name}({args})"
+        )
+
+
+@dataclass
+class ActionCall:
+    """One invocation of a trigger's external action function."""
+
+    trigger_name: str
+    action_name: str
+    arguments: tuple[Any, ...]
+    old_node: XmlNode | None
+    new_node: XmlNode | None
+    key: tuple = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ActionCall({self.trigger_name}: {self.action_name}/{len(self.arguments)} args)"

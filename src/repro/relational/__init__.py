@@ -1,0 +1,53 @@
+"""In-memory relational engine substrate.
+
+This package implements the relational database features that the paper's
+translation scheme relies on (Section 2.3 of the paper):
+
+* typed tables with primary keys, unique constraints, and foreign keys;
+* hash indexes on key and join columns (Section 6.1: "built appropriate
+  indices on the key columns and other join columns");
+* ``INSERT`` / ``UPDATE`` / ``DELETE`` statements executed at *statement*
+  granularity;
+* statement-level ``AFTER`` triggers with access to the before-update and
+  after-update transition tables (the paper's ``∇table`` / ``Δtable``,
+  i.e. ``OLD_TABLE`` / ``NEW_TABLE`` in SQL:1999 / DB2 syntax).
+
+The engine is deliberately self-contained: the paper evaluates on IBM DB2,
+which is unavailable here, and SQLite only offers row-level triggers without
+transition tables.  Building the substrate from scratch lets the generated
+SQL triggers run exactly as the paper describes.
+"""
+
+from repro.relational.types import DataType, coerce_value, type_of_value
+from repro.relational.schema import Column, ForeignKey, TableSchema, UniqueConstraint
+from repro.relational.table import Table, TransitionTable
+from repro.relational.dml import (
+    DeleteStatement,
+    InsertStatement,
+    Statement,
+    StatementResult,
+    UpdateStatement,
+)
+from repro.relational.triggers import StatementTrigger, TriggerContext, TriggerEvent
+from repro.relational.database import Database
+
+__all__ = [
+    "Column",
+    "DataType",
+    "Database",
+    "DeleteStatement",
+    "ForeignKey",
+    "InsertStatement",
+    "Statement",
+    "StatementResult",
+    "StatementTrigger",
+    "Table",
+    "TableSchema",
+    "TransitionTable",
+    "TriggerContext",
+    "TriggerEvent",
+    "UniqueConstraint",
+    "UpdateStatement",
+    "coerce_value",
+    "type_of_value",
+]

@@ -1,0 +1,133 @@
+"""Data-manipulation statements executed at statement granularity.
+
+The paper's translated triggers are SQL *statement-level* triggers: one
+firing per INSERT / UPDATE / DELETE statement, with transition tables holding
+every row the statement touched (Section 2.3, Section 3.2).  These statement
+objects are therefore the unit of execution for :class:`repro.relational.Database`.
+
+Predicates and assignments are expressed as Python callables over row
+dictionaries; the SQL front end (``repro.sql``) compiles SQL text down to
+these same statement objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.relational.table import TransitionTable
+
+__all__ = [
+    "Statement",
+    "InsertStatement",
+    "UpdateStatement",
+    "DeleteStatement",
+    "StatementResult",
+]
+
+RowPredicate = Callable[[dict[str, Any]], bool]
+RowAssignment = Callable[[dict[str, Any]], Mapping[str, Any]]
+
+
+class Statement:
+    """Base class for DML statements."""
+
+    table: str
+
+
+@dataclass
+class InsertStatement(Statement):
+    """``INSERT INTO table VALUES ...`` — one or more rows in a single statement."""
+
+    table: str
+    rows: Sequence[Mapping[str, Any] | Sequence[Any]]
+
+    def __post_init__(self) -> None:
+        self.rows = list(self.rows)
+
+
+@dataclass
+class UpdateStatement(Statement):
+    """``UPDATE table SET ... WHERE ...``.
+
+    ``assignments`` may be either a plain mapping of column name to constant
+    value, or a callable computing the new values from the current row dict
+    (which allows expressions such as ``price = price * 0.9``).
+    ``where`` is a predicate over row dicts; ``None`` means all rows.
+    ``keys`` optionally restricts the statement to rows with the given
+    primary-key values — the engine then locates them through the primary-key
+    map instead of scanning (the fast path a SQL ``WHERE pk = ?`` would take).
+    """
+
+    table: str
+    assignments: Mapping[str, Any] | RowAssignment
+    where: RowPredicate | None = None
+    keys: Sequence[tuple] | None = None
+
+    def assignment_fn(self) -> RowAssignment:
+        """Normalize ``assignments`` into a callable."""
+        if callable(self.assignments):
+            return self.assignments
+        constant = dict(self.assignments)
+        return lambda _row: constant
+
+    def predicate_fn(self) -> RowPredicate:
+        """Normalize ``where`` into a callable (defaults to all rows)."""
+        if self.where is None:
+            return lambda _row: True
+        return self.where
+
+    def key_set(self) -> set[tuple] | None:
+        """The primary-key fast-path targets, normalized to tuples."""
+        if self.keys is None:
+            return None
+        return {tuple(key) if isinstance(key, (tuple, list)) else (key,) for key in self.keys}
+
+
+@dataclass
+class DeleteStatement(Statement):
+    """``DELETE FROM table WHERE ...`` (``where=None`` deletes every row).
+
+    ``keys`` optionally restricts the statement to rows with the given
+    primary-key values (see :class:`UpdateStatement`).
+    """
+
+    table: str
+    where: RowPredicate | None = None
+    keys: Sequence[tuple] | None = None
+
+    def predicate_fn(self) -> RowPredicate:
+        """Normalize ``where`` into a callable (defaults to all rows)."""
+        if self.where is None:
+            return lambda _row: True
+        return self.where
+
+    def key_set(self) -> set[tuple] | None:
+        """The primary-key fast-path targets, normalized to tuples."""
+        if self.keys is None:
+            return None
+        return {tuple(key) if isinstance(key, (tuple, list)) else (key,) for key in self.keys}
+
+
+@dataclass
+class StatementResult:
+    """Outcome of executing a single DML statement.
+
+    ``inserted`` is the paper's ``Δtable`` (``NEW_TABLE``), ``deleted`` is
+    ``∇table`` (``OLD_TABLE``).  For an INSERT statement ``deleted`` is empty;
+    for a DELETE, ``inserted`` is empty; for an UPDATE, both hold the
+    before/after versions of every matched row (even rows whose values did
+    not change — see Definition 5 and Appendix F.1).
+    """
+
+    table: str
+    event: "str"
+    inserted: TransitionTable
+    deleted: TransitionTable
+    rowcount: int = 0
+    fired_sql_triggers: list[str] = field(default_factory=list)
+    fired_xml_triggers: list[Any] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.rowcount:
+            self.rowcount = max(len(self.inserted), len(self.deleted))

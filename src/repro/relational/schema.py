@@ -1,0 +1,205 @@
+"""Table schema objects: columns, keys, constraints.
+
+Theorem 1 of the paper requires every base table to have a primary key for a
+view to be trigger-specifiable, so :class:`TableSchema` makes the primary key
+a first-class citizen.  Foreign keys are also declared explicitly because the
+experimental hierarchy of Section 6.1 ("each child table has a foreign key
+column referencing its parent's primary key") and the workload generator rely
+on them, and the trigger pushdown builds indexes on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.types import DataType, coerce_value
+
+__all__ = ["Column", "ForeignKey", "UniqueConstraint", "TableSchema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("column name must be a non-empty string")
+        if not isinstance(self.dtype, DataType):
+            raise SchemaError(f"column {self.name!r}: dtype must be a DataType")
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce a value to this column's type, enforcing NOT NULL."""
+        coerced = coerce_value(value, self.dtype, column=self.name)
+        if coerced is None and not self.nullable:
+            raise SchemaError(f"column {self.name!r} is NOT NULL")
+        return coerced
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint: ``columns`` reference ``parent_table.parent_columns``."""
+
+    columns: tuple[str, ...]
+    parent_table: str
+    parent_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.parent_columns):
+            raise SchemaError("foreign key column count mismatch")
+        if not self.columns:
+            raise SchemaError("foreign key must name at least one column")
+
+
+@dataclass(frozen=True)
+class UniqueConstraint:
+    """A uniqueness constraint over one or more columns."""
+
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError("unique constraint must name at least one column")
+
+
+class TableSchema:
+    """Schema of a relational table: ordered columns, primary key, constraints.
+
+    Rows belonging to a table with this schema are stored as plain tuples in
+    column order; :meth:`row_from_mapping` and :meth:`row_to_mapping` convert
+    between tuples and dictionaries.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str] | None = None,
+        foreign_keys: Sequence[ForeignKey] = (),
+        unique: Sequence[UniqueConstraint] = (),
+    ) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {name!r} has duplicate column names")
+
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self.column_names: tuple[str, ...] = tuple(names)
+        self._index_of = {column_name: i for i, column_name in enumerate(names)}
+
+        pk = tuple(primary_key or ())
+        for column_name in pk:
+            if column_name not in self._index_of:
+                raise SchemaError(
+                    f"table {name!r}: primary key column {column_name!r} not defined"
+                )
+        self.primary_key: tuple[str, ...] = pk
+        self.foreign_keys: tuple[ForeignKey, ...] = tuple(foreign_keys)
+        for fk in self.foreign_keys:
+            for column_name in fk.columns:
+                if column_name not in self._index_of:
+                    raise SchemaError(
+                        f"table {name!r}: foreign key column {column_name!r} not defined"
+                    )
+        self.unique_constraints: tuple[UniqueConstraint, ...] = tuple(unique)
+        for constraint in self.unique_constraints:
+            for column_name in constraint.columns:
+                if column_name not in self._index_of:
+                    raise SchemaError(
+                        f"table {name!r}: unique column {column_name!r} not defined"
+                    )
+
+    # -- column access ------------------------------------------------------
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column with this name exists."""
+        return name in self._index_of
+
+    def column(self, name: str) -> Column:
+        """Return the :class:`Column` with the given name."""
+        try:
+            return self.columns[self._index_of[name]]
+        except KeyError:
+            raise UnknownColumnError(f"table {self.name!r} has no column {name!r}") from None
+
+    def column_index(self, name: str) -> int:
+        """Return the position of a column within a stored row tuple."""
+        try:
+            return self._index_of[name]
+        except KeyError:
+            raise UnknownColumnError(f"table {self.name!r} has no column {name!r}") from None
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    # -- row conversion ------------------------------------------------------
+
+    def row_from_mapping(self, mapping: Mapping[str, Any]) -> tuple:
+        """Build a row tuple from a column-name → value mapping.
+
+        Missing columns default to NULL; unknown columns raise.
+        """
+        unknown = set(mapping) - set(self.column_names)
+        if unknown:
+            raise UnknownColumnError(
+                f"table {self.name!r} has no column(s) {sorted(unknown)!r}"
+            )
+        return tuple(
+            column.coerce(mapping.get(column.name)) for column in self.columns
+        )
+
+    def row_from_values(self, values: Sequence[Any]) -> tuple:
+        """Build a row tuple from positional values (must match arity)."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"table {self.name!r} expects {self.arity} values, got {len(values)}"
+            )
+        return tuple(
+            column.coerce(value) for column, value in zip(self.columns, values)
+        )
+
+    def row_to_mapping(self, row: Sequence[Any]) -> dict[str, Any]:
+        """Convert a row tuple into a column-name → value dictionary."""
+        return dict(zip(self.column_names, row))
+
+    # -- key extraction ------------------------------------------------------
+
+    def key_of(self, row: Sequence[Any]) -> tuple:
+        """Primary-key value of a row tuple."""
+        return tuple(row[self._index_of[c]] for c in self.primary_key)
+
+    def project(self, row: Sequence[Any], columns: Iterable[str]) -> tuple:
+        """Project a row tuple onto a sequence of column names."""
+        return tuple(row[self.column_index(c)] for c in columns)
+
+    # -- misc -----------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(f"{c.name} {c.dtype}" for c in self.columns)
+        pk = f", PRIMARY KEY ({', '.join(self.primary_key)})" if self.primary_key else ""
+        return f"TableSchema({self.name}: {cols}{pk})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.columns == other.columns
+            and self.primary_key == other.primary_key
+            and self.foreign_keys == other.foreign_keys
+            and self.unique_constraints == other.unique_constraints
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.columns, self.primary_key))

@@ -1,0 +1,164 @@
+"""Statement-level SQL triggers and their transition tables.
+
+This module supplies the relational-trigger facility the paper assumes of
+the underlying DBMS (Section 2.3):
+
+* ``AFTER INSERT | UPDATE | DELETE ON <table>``
+* ``FOR EACH STATEMENT``
+* ``REFERENCING OLD_TABLE AS ... NEW_TABLE AS ...``
+
+The :class:`TriggerContext` passed to the trigger body exposes the post-update
+database, the transition tables, the *pruned* transition tables of
+Definition 8 (rows that actually changed), and the reconstructed pre-update
+contents of the updated table (``B_old``), computed as
+``(SELECT * FROM B) EXCEPT (SELECT * FROM ΔB) UNION (SELECT * FROM ∇B)``
+exactly as described in Section 4.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.relational.table import TransitionTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.database import Database
+
+__all__ = ["TriggerEvent", "TriggerContext", "StatementTrigger"]
+
+
+class TriggerEvent(enum.Enum):
+    """Relational trigger events (and XML trigger events, Section 2.2)."""
+
+    INSERT = "INSERT"
+    UPDATE = "UPDATE"
+    DELETE = "DELETE"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @classmethod
+    def parse(cls, text: str) -> "TriggerEvent":
+        """Parse an event name case-insensitively."""
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown trigger event {text!r}") from None
+
+
+@dataclass
+class TriggerContext:
+    """Everything a statement-level trigger body may reference.
+
+    Attributes
+    ----------
+    database:
+        The database *after* the statement was applied.
+    table:
+        Name of the table the statement modified.
+    event:
+        Which kind of statement fired the trigger.
+    inserted:
+        ``Δtable`` / ``NEW_TABLE``: affected rows after the statement
+        (empty for DELETE).
+    deleted:
+        ``∇table`` / ``OLD_TABLE``: affected rows before the statement
+        (empty for INSERT).
+    """
+
+    database: "Database"
+    table: str
+    event: TriggerEvent
+    inserted: TransitionTable
+    deleted: TransitionTable
+
+    # -- derived tables --------------------------------------------------------
+
+    def pruned_inserted(self) -> TransitionTable:
+        """``ΔT' = ΔT − ∇T``: inserted rows that are not also in the deleted set.
+
+        This is the pruned transition table of Definition 8 (bag difference
+        on full row values), which removes no-op updates such as
+        ``SET price = 1 * price``.
+        """
+        return _bag_difference(self.inserted, self.deleted)
+
+    def pruned_deleted(self) -> TransitionTable:
+        """``∇T' = ∇T − ΔT``: deleted rows that are not also in the inserted set."""
+        return _bag_difference(self.deleted, self.inserted)
+
+    def old_table_rows(self) -> list[tuple]:
+        """Reconstruct the pre-update contents of the updated table (``B_old``).
+
+        ``B_old = (B EXCEPT ΔB) UNION ∇B`` per Section 4.2 of the paper.
+        The EXCEPT here removes by primary key (each Δ row replaced exactly
+        one pre-update row with the same key, or was newly inserted).
+        """
+        table = self.database.table(self.table)
+        schema = table.schema
+        if schema.primary_key:
+            inserted_keys = {schema.key_of(row) for row in self.inserted}
+            rows = [row for row in table if schema.key_of(row) not in inserted_keys]
+        else:
+            inserted = list(self.inserted.rows)
+            rows = []
+            for row in table:
+                if row in inserted:
+                    inserted.remove(row)
+                else:
+                    rows.append(row)
+        rows.extend(self.deleted.rows)
+        return rows
+
+    def old_table(self) -> TransitionTable:
+        """``B_old`` wrapped as a read-only table."""
+        return TransitionTable(self.database.table(self.table).schema, self.old_table_rows())
+
+
+def _bag_difference(left: TransitionTable, right: TransitionTable) -> TransitionTable:
+    """Multiset difference of two transition tables on full row values."""
+    remaining = list(right.rows)
+    result = []
+    for row in left.rows:
+        if row in remaining:
+            remaining.remove(row)
+        else:
+            result.append(row)
+    return TransitionTable(left.schema, result)
+
+
+@dataclass
+class StatementTrigger:
+    """An ``AFTER ... FOR EACH STATEMENT`` trigger registered on one table.
+
+    ``body`` is invoked once per qualifying statement with a
+    :class:`TriggerContext`.  The optional ``sql_text`` holds the rendered SQL
+    of the generated trigger (Figure 16 of the paper) for inspection.
+    """
+
+    name: str
+    table: str
+    events: frozenset[TriggerEvent]
+    body: Callable[[TriggerContext], Any]
+    sql_text: str | None = None
+    enabled: bool = True
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.events, (TriggerEvent, str)):
+            self.events = frozenset({TriggerEvent.parse(str(self.events))})
+        else:
+            self.events = frozenset(
+                event if isinstance(event, TriggerEvent) else TriggerEvent.parse(event)
+                for event in self.events
+            )
+
+    def handles(self, event: TriggerEvent) -> bool:
+        """Whether this trigger fires for the given event."""
+        return self.enabled and event in self.events
+
+    def fire(self, context: TriggerContext) -> Any:
+        """Invoke the trigger body."""
+        return self.body(context)

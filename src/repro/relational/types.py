@@ -1,0 +1,281 @@
+"""Value types and SQL-style value semantics for the relational engine.
+
+The engine supports a small but sufficient set of scalar types:
+
+* ``INTEGER`` — Python :class:`int`
+* ``REAL`` — Python :class:`float` (integers are accepted and widened)
+* ``TEXT`` — Python :class:`str`
+* ``BOOLEAN`` — Python :class:`bool`
+
+``None`` represents SQL ``NULL`` for every type.  Comparison helpers follow
+SQL three-valued logic: any comparison involving ``NULL`` yields ``None``
+("unknown"), and ``WHERE`` treats unknown as false.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Optional
+
+from repro.errors import TypeMismatchError
+
+__all__ = [
+    "DataType",
+    "coerce_value",
+    "type_of_value",
+    "sql_eq",
+    "sql_ne",
+    "sql_lt",
+    "sql_le",
+    "sql_gt",
+    "sql_ge",
+    "sql_and",
+    "sql_or",
+    "sql_not",
+    "is_truthy",
+    "compare_values",
+    "values_equal",
+    "sort_key",
+]
+
+
+class DataType(enum.Enum):
+    """Declared type of a relational column."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def coerce_value(value: Any, dtype: DataType, *, column: str = "?") -> Any:
+    """Coerce ``value`` to the Python representation of ``dtype``.
+
+    ``None`` (NULL) passes through unchanged.  Raises
+    :class:`~repro.errors.TypeMismatchError` when the value cannot be
+    represented in the declared type without loss of meaning.
+    """
+    if value is None:
+        return None
+    if dtype is DataType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError as exc:
+                raise TypeMismatchError(
+                    f"column {column!r}: cannot coerce {value!r} to INTEGER"
+                ) from exc
+        raise TypeMismatchError(f"column {column!r}: cannot coerce {value!r} to INTEGER")
+    if dtype is DataType.REAL:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise TypeMismatchError(
+                    f"column {column!r}: cannot coerce {value!r} to REAL"
+                ) from exc
+        raise TypeMismatchError(f"column {column!r}: cannot coerce {value!r} to REAL")
+    if dtype is DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, (int, float)):
+            return format_number(value)
+        raise TypeMismatchError(f"column {column!r}: cannot coerce {value!r} to TEXT")
+    if dtype is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int):
+            return bool(value)
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("true", "t", "1"):
+                return True
+            if lowered in ("false", "f", "0"):
+                return False
+            raise TypeMismatchError(
+                f"column {column!r}: cannot coerce {value!r} to BOOLEAN"
+            )
+        raise TypeMismatchError(f"column {column!r}: cannot coerce {value!r} to BOOLEAN")
+    raise TypeMismatchError(f"column {column!r}: unknown type {dtype!r}")  # pragma: no cover
+
+
+def type_of_value(value: Any) -> Optional[DataType]:
+    """Infer the :class:`DataType` of a Python value (``None`` for NULL)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.REAL
+    if isinstance(value, str):
+        return DataType.TEXT
+    raise TypeMismatchError(f"unsupported value type: {type(value).__name__}")
+
+
+def format_number(value: Any) -> str:
+    """Render a numeric value the way the tagger / TEXT coercion expects."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isfinite(value) and value.is_integer():
+            return f"{value:.1f}"
+        return repr(value)
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Three-valued comparison logic
+# ---------------------------------------------------------------------------
+
+
+def _comparable(a: Any, b: Any) -> tuple[Any, Any]:
+    """Normalize a pair of non-NULL values so Python comparison is valid."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        if isinstance(a, bool) and isinstance(b, bool):
+            return a, b
+        # bool vs number compares numerically; bool vs text compares textually
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            return float(a), float(b)
+        return str(a).lower(), str(b).lower()
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a, b
+    if isinstance(a, str) and isinstance(b, str):
+        return a, b
+    # Mixed text/number comparison: compare as text (matches our TEXT coercion).
+    return format_number(a) if not isinstance(a, str) else a, (
+        format_number(b) if not isinstance(b, str) else b
+    )
+
+
+def sql_eq(a: Any, b: Any) -> Optional[bool]:
+    """SQL ``=``: NULL-propagating equality."""
+    if a is None or b is None:
+        return None
+    a, b = _comparable(a, b)
+    return a == b
+
+
+def sql_ne(a: Any, b: Any) -> Optional[bool]:
+    """SQL ``<>``."""
+    result = sql_eq(a, b)
+    return None if result is None else not result
+
+
+def sql_lt(a: Any, b: Any) -> Optional[bool]:
+    """SQL ``<``."""
+    if a is None or b is None:
+        return None
+    a, b = _comparable(a, b)
+    return a < b
+
+
+def sql_le(a: Any, b: Any) -> Optional[bool]:
+    """SQL ``<=``."""
+    if a is None or b is None:
+        return None
+    a, b = _comparable(a, b)
+    return a <= b
+
+
+def sql_gt(a: Any, b: Any) -> Optional[bool]:
+    """SQL ``>``."""
+    if a is None or b is None:
+        return None
+    a, b = _comparable(a, b)
+    return a > b
+
+
+def sql_ge(a: Any, b: Any) -> Optional[bool]:
+    """SQL ``>=``."""
+    if a is None or b is None:
+        return None
+    a, b = _comparable(a, b)
+    return a >= b
+
+
+def sql_and(a: Optional[bool], b: Optional[bool]) -> Optional[bool]:
+    """SQL three-valued AND."""
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def sql_or(a: Optional[bool], b: Optional[bool]) -> Optional[bool]:
+    """SQL three-valued OR."""
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def sql_not(a: Optional[bool]) -> Optional[bool]:
+    """SQL three-valued NOT."""
+    if a is None:
+        return None
+    return not a
+
+
+def is_truthy(value: Optional[bool]) -> bool:
+    """WHERE-clause semantics: unknown (NULL) counts as false."""
+    return value is True
+
+
+# ---------------------------------------------------------------------------
+# Total ordering helpers (for grouping / ORDER BY / key comparison)
+# ---------------------------------------------------------------------------
+
+_TYPE_RANK = {type(None): 0, bool: 1, int: 2, float: 2, str: 3}
+
+
+def sort_key(value: Any) -> tuple:
+    """Return a key that totally orders heterogeneous values (NULLs first)."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, float(value))
+    return (3, str(value))
+
+
+def compare_values(a: Any, b: Any) -> int:
+    """Totally-ordered comparison used by ORDER BY (NULLs sort first)."""
+    ka, kb = sort_key(a), sort_key(b)
+    if ka < kb:
+        return -1
+    if ka > kb:
+        return 1
+    return 0
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Grouping / key equality: NULL equals NULL (unlike SQL ``=``)."""
+    if a is None and b is None:
+        return True
+    if a is None or b is None:
+        return False
+    na, nb = _comparable(a, b)
+    return na == nb

@@ -1,0 +1,334 @@
+"""Generator for the hierarchical experimental workload (Section 6.1).
+
+For a given :class:`~repro.workloads.parameters.WorkloadParameters` point the
+generator produces:
+
+* the relational schema and data: a ``top`` table, ``depth - 2`` intermediate
+  tables, and a ``leaf`` table, each child carrying a foreign key to its
+  parent (primary keys on every table, hash indexes on the foreign keys);
+* the XML view: children nested inside parents, the monitored element at the
+  top, and the ``count(leaf) >= 2`` predicate on the lowest nesting level;
+* a population of structurally similar XML triggers that differ only in the
+  constant of their ``OLD_NODE/@name = '...'`` condition, a controllable
+  number of which are satisfied by updates to the designated target element;
+* an update workload: independent UPDATE statements against the leaf table,
+  each touching one leaf row under the target top-level element (the paper
+  averages over 100 such updates).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.relational.database import Database
+from repro.relational.dml import DeleteStatement, InsertStatement, UpdateStatement
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import DataType
+from repro.xqgm.expressions import ColumnRef, Comparison, Constant
+from repro.xqgm.views import ViewDefinition, ViewElementSpec
+from repro.workloads.parameters import WorkloadParameters
+
+__all__ = ["HierarchyWorkload"]
+
+# Branching factor of the intermediate hierarchy levels; the leaf level's
+# per-parent fanout is derived from it so that each top-level XML element
+# contains exactly ``fanout`` leaf tuples.
+_MID_BRANCHING = 2
+
+
+class HierarchyWorkload:
+    """Builds database, view, triggers, and updates for one parameter point."""
+
+    def __init__(self, parameters: WorkloadParameters) -> None:
+        self.parameters = parameters
+        self._rng = random.Random(parameters.seed)
+
+    # ------------------------------------------------------------------ structure
+
+    @property
+    def depth(self) -> int:
+        """Hierarchy depth (number of levels / tables)."""
+        return self.parameters.depth
+
+    def level_table(self, level: int) -> str:
+        """Table name for a level (0 = top)."""
+        return self.parameters.table_name(level)
+
+    def level_element(self, level: int) -> str:
+        """Element name for a level (0 = top)."""
+        return self.parameters.element_name(level)
+
+    def nodes_per_level(self) -> list[int]:
+        """Number of rows in each level's table (index 0 = top)."""
+        params = self.parameters
+        counts = [params.top_elements]
+        for level in range(1, self.depth - 1):
+            counts.append(counts[-1] * _MID_BRANCHING)
+        leaves_per_lowest_parent = max(2, params.fanout // (_MID_BRANCHING ** (self.depth - 2)))
+        counts.append(counts[-1] * leaves_per_lowest_parent)
+        return counts
+
+    @property
+    def leaves_per_lowest_parent(self) -> int:
+        """Leaf rows under each lowest-level parent (>= 2 so the predicate passes)."""
+        return max(2, self.parameters.fanout // (_MID_BRANCHING ** (self.depth - 2)))
+
+    # ------------------------------------------------------------------ database
+
+    def build_database(self) -> Database:
+        """Create the relational schema and load the synthetic data."""
+        params = self.parameters
+        database = Database(name=f"hier_d{self.depth}")
+        counts = self.nodes_per_level()
+
+        # Top level
+        database.create_table(
+            TableSchema(
+                self.level_table(0),
+                [
+                    Column("id", DataType.INTEGER, nullable=False),
+                    Column("name", DataType.TEXT, nullable=False),
+                    Column("mfr", DataType.TEXT),
+                ],
+                primary_key=["id"],
+            )
+        )
+        # Intermediate levels
+        for level in range(1, self.depth - 1):
+            database.create_table(
+                TableSchema(
+                    self.level_table(level),
+                    [
+                        Column("id", DataType.INTEGER, nullable=False),
+                        Column("parent_id", DataType.INTEGER, nullable=False),
+                        Column("name", DataType.TEXT),
+                    ],
+                    primary_key=["id"],
+                    foreign_keys=[
+                        ForeignKey(("parent_id",), self.level_table(level - 1), ("id",))
+                    ],
+                )
+            )
+        # Leaf level
+        database.create_table(
+            TableSchema(
+                self.level_table(self.depth - 1),
+                [
+                    Column("id", DataType.INTEGER, nullable=False),
+                    Column("parent_id", DataType.INTEGER, nullable=False),
+                    Column("price", DataType.REAL, nullable=False),
+                    Column("code", DataType.TEXT),
+                ],
+                primary_key=["id"],
+                foreign_keys=[
+                    ForeignKey(("parent_id",), self.level_table(self.depth - 2), ("id",))
+                ],
+            )
+        )
+
+        # Foreign-key hash indexes ("indices on the key columns and other join
+        # columns", Section 6.1).
+        for level in range(1, self.depth):
+            database.create_index(self.level_table(level), ["parent_id"])
+
+        # Data: bulk loads bypass triggers.
+        database.enforce_foreign_keys = False
+        try:
+            database.load_rows(
+                self.level_table(0),
+                (
+                    {"id": i, "name": self.top_name(i), "mfr": f"maker_{i % 7}"}
+                    for i in range(1, counts[0] + 1)
+                ),
+            )
+            for level in range(1, self.depth - 1):
+                parent_count = counts[level - 1]
+                database.load_rows(
+                    self.level_table(level),
+                    (
+                        {
+                            "id": i,
+                            "parent_id": ((i - 1) % parent_count) + 1,
+                            "name": f"L{level}_{i}",
+                        }
+                        for i in range(1, counts[level] + 1)
+                    ),
+                )
+            parent_count = counts[self.depth - 2]
+            rng = random.Random(params.seed + 1)
+            database.load_rows(
+                self.level_table(self.depth - 1),
+                (
+                    {
+                        "id": i,
+                        "parent_id": ((i - 1) % parent_count) + 1,
+                        "price": round(10.0 + rng.random() * 490.0, 2),
+                        "code": f"sku{i}",
+                    }
+                    for i in range(1, counts[self.depth - 1] + 1)
+                ),
+            )
+        finally:
+            database.enforce_foreign_keys = True
+        return database
+
+    def top_name(self, top_id: int) -> str:
+        """The ``name`` attribute value of a top-level element."""
+        return f"name_{top_id}"
+
+    @property
+    def target_top_id(self) -> int:
+        """The top element whose subtree the update workload touches."""
+        return 1
+
+    @property
+    def target_top_name(self) -> str:
+        """The monitored name constant shared by the satisfied triggers."""
+        return self.top_name(self.target_top_id)
+
+    # ------------------------------------------------------------------ view
+
+    def build_view(self) -> ViewDefinition:
+        """The nested XML view over the hierarchy (predicate on the lowest level)."""
+        leaf_level = self.depth - 1
+        spec = ViewElementSpec(
+            name=self.level_element(leaf_level),
+            table=self.level_table(leaf_level),
+            alias=f"L{leaf_level}",
+            content=[
+                ("price", f"L{leaf_level}.price"),
+                ("code", f"L{leaf_level}.code"),
+            ],
+            link=[("parent_id", "id")],
+        )
+        for level in range(self.depth - 2, -1, -1):
+            alias = f"L{level}"
+            having = None
+            if level == self.depth - 2:
+                having = Comparison(
+                    ">=", ColumnRef(f"count_{self.level_element(leaf_level)}"), Constant(2)
+                )
+            attributes = [("name", f"{alias}.name")] if level == 0 else [
+                ("name", f"{alias}.name")
+            ]
+            spec = ViewElementSpec(
+                name=self.level_element(level),
+                table=self.level_table(level),
+                alias=alias,
+                attributes=attributes,
+                children=[spec],
+                having=having,
+                link=[("parent_id", "id")] if level > 0 else (),
+            )
+        return ViewDefinition(self.parameters.view_name, "document", spec)
+
+    # ------------------------------------------------------------------ triggers
+
+    def trigger_definitions(self, action: str = "collect") -> list[str]:
+        """The structurally similar XML trigger population.
+
+        The first ``effective_satisfied`` triggers monitor the target top
+        element's name (and therefore fire for the update workload); the
+        remaining triggers use other names.
+        """
+        params = self.parameters
+        total = params.effective_num_triggers
+        satisfied = params.effective_satisfied
+        top_count = params.top_elements
+        definitions: list[str] = []
+        for index in range(total):
+            if index < satisfied:
+                constant = self.target_top_name
+            else:
+                # Spread the remaining constants over the other top elements
+                # (or synthetic never-matching names when there are few).
+                other = 2 + (index % max(1, top_count - 1))
+                if other > top_count:
+                    constant = f"unmatched_{index}"
+                else:
+                    constant = self.top_name(other)
+            definitions.append(
+                f"CREATE TRIGGER t{index} AFTER UPDATE "
+                f"ON view('{params.view_name}')/{self.level_element(0)} "
+                f"WHERE OLD_NODE/@name = '{constant}' "
+                f"DO {action}(NEW_NODE)"
+            )
+        return definitions
+
+    # ------------------------------------------------------------------ updates
+
+    def leaf_ids_under_target(self, database: Database) -> list[int]:
+        """Leaf rows whose top-level ancestor is the target element."""
+        counts = self.nodes_per_level()
+        # Reconstruct ancestry arithmetically (ids are assigned round-robin).
+        leaf_table = database.table(self.level_table(self.depth - 1))
+        result = []
+        for row in leaf_table:
+            mapping = leaf_table.schema.row_to_mapping(row)
+            parent = mapping["parent_id"]
+            level = self.depth - 2
+            while level > 0:
+                parent_count = counts[level - 1]
+                parent = ((parent - 1) % parent_count) + 1
+                level -= 1
+            if parent == self.target_top_id:
+                result.append(mapping["id"])
+        return sorted(result)
+
+    def update_statements(
+        self, count: int, database: Database, *, rows_per_statement: int = 1
+    ) -> list[UpdateStatement]:
+        """Independent leaf-price updates under the target element."""
+        leaf_ids = self.leaf_ids_under_target(database)
+        if not leaf_ids:
+            raise ValueError("no leaf rows under the target element")
+        statements: list[UpdateStatement] = []
+        table = self.level_table(self.depth - 1)
+        for i in range(count):
+            chosen = [
+                leaf_ids[(i * rows_per_statement + j) % len(leaf_ids)]
+                for j in range(rows_per_statement)
+            ]
+            new_price = round(5.0 + ((i * 37) % 1000) + self._rng.random(), 2)
+            statements.append(
+                UpdateStatement(
+                    table,
+                    lambda row, price=new_price: {"price": price + (row["id"] % 10) * 0.01},
+                    keys=[(leaf_id,) for leaf_id in chosen],
+                )
+            )
+        return statements
+
+    def insert_statements(self, count: int, database: Database) -> list[InsertStatement]:
+        """INSERT statements adding new leaf rows under the target element."""
+        counts = self.nodes_per_level()
+        next_id = len(database.table(self.level_table(self.depth - 1))) + 1
+        parent_count = counts[self.depth - 2]
+        statements = []
+        for i in range(count):
+            statements.append(
+                InsertStatement(
+                    self.level_table(self.depth - 1),
+                    [
+                        {
+                            "id": next_id + i,
+                            "parent_id": ((self.target_top_id - 1) % parent_count) + 1,
+                            "price": 99.0 + i,
+                            "code": f"new{i}",
+                        }
+                    ],
+                )
+            )
+        return statements
+
+    def delete_statements(self, count: int, database: Database) -> list[DeleteStatement]:
+        """DELETE statements removing leaf rows under the target element."""
+        leaf_ids = self.leaf_ids_under_target(database)
+        statements = []
+        for i in range(min(count, len(leaf_ids))):
+            statements.append(
+                DeleteStatement(self.level_table(self.depth - 1), keys=[(leaf_ids[i],)])
+            )
+        return statements

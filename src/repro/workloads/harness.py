@@ -1,0 +1,304 @@
+"""Experiment harness regenerating the paper's evaluation (Section 6, App. G).
+
+Each ``figure_*`` method sweeps one Table 2 parameter exactly as the paper
+does, runs a number of independent updates against the leaf table, and
+reports the average time per update for each execution strategy.  The
+benchmarks under ``benchmarks/`` wrap these methods with pytest-benchmark;
+``python -m repro.workloads.harness`` prints the full set of series as text
+tables (the data behind EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.baseline import MaterializedBaseline
+from repro.core.language import parse_trigger
+from repro.core.service import ActiveViewService, ExecutionMode
+from repro.relational.database import Database
+from repro.relational.dml import Statement
+from repro.workloads.generator import HierarchyWorkload
+from repro.workloads.parameters import WorkloadParameters
+
+__all__ = ["ExperimentPoint", "ExperimentSetup", "ExperimentHarness"]
+
+
+@dataclass
+class ExperimentPoint:
+    """One measured point of one figure."""
+
+    figure: str
+    parameter: str
+    value: object
+    mode: str
+    avg_ms: float
+    updates: int
+    fired_per_update: float
+
+    def as_row(self) -> dict:
+        """The point as a flat dictionary (for printing / CSV)."""
+        return {
+            "figure": self.figure,
+            self.parameter: self.value,
+            "mode": self.mode,
+            "avg_ms_per_update": round(self.avg_ms, 3),
+            "fired_per_update": round(self.fired_per_update, 2),
+        }
+
+
+@dataclass
+class ExperimentSetup:
+    """A fully wired system for one parameter point and one execution mode."""
+
+    parameters: WorkloadParameters
+    workload: HierarchyWorkload
+    database: Database
+    service: ActiveViewService | None
+    baseline: MaterializedBaseline | None
+    collected: list
+    statements: list[Statement] = field(default_factory=list)
+
+    def run_statement(self, statement: Statement) -> None:
+        """Execute one workload statement through whichever system is wired."""
+        if self.service is not None:
+            self.service.execute(statement)
+        elif self.baseline is not None:
+            self.baseline.execute(statement)
+        else:  # pragma: no cover - defensive
+            self.database.execute(statement)
+
+    @property
+    def fired_count(self) -> int:
+        """Total number of XML trigger firings recorded so far."""
+        if self.service is not None:
+            return len(self.service.fired)
+        if self.baseline is not None:
+            return len(self.baseline.fired)
+        return 0
+
+
+class ExperimentHarness:
+    """Builds experiment setups and runs the per-figure sweeps."""
+
+    MATERIALIZED = "materialized"
+
+    def __init__(self, base_parameters: WorkloadParameters | None = None, updates: int = 20) -> None:
+        self.base_parameters = base_parameters or WorkloadParameters()
+        self.updates = updates
+
+    # ------------------------------------------------------------------ setup
+
+    def build_setup(
+        self,
+        parameters: WorkloadParameters,
+        mode: ExecutionMode | str,
+        *,
+        action: str = "collect",
+    ) -> ExperimentSetup:
+        """Create the database, view, triggers and chosen execution system."""
+        workload = HierarchyWorkload(parameters)
+        database = workload.build_database()
+        view = workload.build_view()
+        collected: list = []
+
+        if isinstance(mode, str) and mode == self.MATERIALIZED:
+            baseline = MaterializedBaseline(database)
+            baseline.register_view(view)
+            baseline.register_action(action, lambda node: collected.append(node))
+            for definition in workload.trigger_definitions(action):
+                baseline.create_trigger(parse_trigger(definition))
+            return ExperimentSetup(parameters, workload, database, None, baseline, collected)
+
+        mode = ExecutionMode(mode) if isinstance(mode, str) else mode
+        service = ActiveViewService(database, mode=mode)
+        service.register_view(view)
+        service.register_action(action, lambda node: collected.append(node))
+        for definition in workload.trigger_definitions(action):
+            service.create_trigger(definition)
+        return ExperimentSetup(parameters, workload, database, service, None, collected)
+
+    # ------------------------------------------------------------------ measurement
+
+    def measure(
+        self,
+        setup: ExperimentSetup,
+        statements: Sequence[Statement] | None = None,
+    ) -> tuple[float, float]:
+        """Run the update workload; returns (avg seconds per update, fired/update)."""
+        if statements is None:
+            statements = setup.workload.update_statements(self.updates, setup.database)
+        setup.statements = list(statements)
+        fired_before = setup.fired_count
+        durations: list[float] = []
+        for statement in setup.statements:
+            started = time.perf_counter()
+            setup.run_statement(statement)
+            durations.append(time.perf_counter() - started)
+        fired = setup.fired_count - fired_before
+        avg = statistics.fmean(durations) if durations else 0.0
+        return avg, fired / max(1, len(setup.statements))
+
+    def _sweep(
+        self,
+        figure: str,
+        parameter: str,
+        values: Iterable[object],
+        modes: Sequence[ExecutionMode | str],
+        make_parameters: Callable[[object], WorkloadParameters],
+    ) -> list[ExperimentPoint]:
+        points: list[ExperimentPoint] = []
+        for value in values:
+            parameters = make_parameters(value)
+            for mode in modes:
+                setup = self.build_setup(parameters, mode)
+                avg_seconds, fired = self.measure(setup)
+                points.append(
+                    ExperimentPoint(
+                        figure=figure,
+                        parameter=parameter,
+                        value=value,
+                        mode=str(mode) if isinstance(mode, str) else mode.value,
+                        avg_ms=avg_seconds * 1000.0,
+                        updates=len(setup.statements),
+                        fired_per_update=fired,
+                    )
+                )
+        return points
+
+    # ------------------------------------------------------------------ figures
+
+    def figure17_num_triggers(
+        self,
+        trigger_counts: Sequence[int] = (1, 10, 100, 1000),
+        modes: Sequence[ExecutionMode] = (
+            ExecutionMode.UNGROUPED,
+            ExecutionMode.GROUPED,
+            ExecutionMode.GROUPED_AGG,
+        ),
+    ) -> list[ExperimentPoint]:
+        """Figure 17: vary the number of (structurally similar) triggers."""
+        def make(n: object) -> WorkloadParameters:
+            n = int(n)
+            base = self.base_parameters
+            return base.with_(
+                num_triggers=n,
+                satisfied_triggers=min(base.satisfied_triggers, n),
+            )
+
+        return self._sweep("figure17", "num_triggers", trigger_counts, modes, make)
+
+    def figure18_depth(
+        self,
+        depths: Sequence[int] = (2, 3, 4, 5),
+        modes: Sequence[ExecutionMode] = (ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG),
+    ) -> list[ExperimentPoint]:
+        """Figure 18: vary the hierarchy depth."""
+        return self._sweep(
+            "figure18", "depth", depths, modes,
+            lambda d: self.base_parameters.with_(depth=int(d)),
+        )
+
+    def figure22_fanout(
+        self,
+        fanouts: Sequence[int] = (16, 32, 64, 128, 256),
+        modes: Sequence[ExecutionMode] = (ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG),
+    ) -> list[ExperimentPoint]:
+        """Figure 22: vary the number of leaf tuples per XML element."""
+        return self._sweep(
+            "figure22", "fanout", fanouts, modes,
+            lambda f: self.base_parameters.with_(fanout=int(f)),
+        )
+
+    def figure23_data_size(
+        self,
+        leaf_tuples: Sequence[int] = (32_000, 64_000, 128_000, 256_000),
+        modes: Sequence[ExecutionMode] = (ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG),
+    ) -> list[ExperimentPoint]:
+        """Figure 23: vary the database size (number of leaf tuples)."""
+        return self._sweep(
+            "figure23", "leaf_tuples", leaf_tuples, modes,
+            lambda n: self.base_parameters.with_(leaf_tuples=int(n)),
+        )
+
+    def figure24_satisfied(
+        self,
+        satisfied: Sequence[int] = (1, 20, 40, 80, 100),
+        modes: Sequence[ExecutionMode] = (ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG),
+    ) -> list[ExperimentPoint]:
+        """Figure 24: vary the number of satisfied triggers per update."""
+        def make(n: object) -> WorkloadParameters:
+            n = int(n)
+            base = self.base_parameters
+            return base.with_(
+                satisfied_triggers=n,
+                num_triggers=max(base.num_triggers, n),
+            )
+
+        return self._sweep("figure24", "satisfied_triggers", satisfied, modes, make)
+
+    def ablation_materialized(
+        self,
+        trigger_counts: Sequence[int] = (1, 10, 100),
+    ) -> list[ExperimentPoint]:
+        """Extra ablation: translated triggers vs. the MATERIALIZED baseline."""
+        return self._sweep(
+            "ablation_materialized", "num_triggers", trigger_counts,
+            (ExecutionMode.GROUPED_AGG, self.MATERIALIZED),
+            lambda n: self.base_parameters.with_(num_triggers=int(n)),
+        )
+
+    def compile_time(self, trigger_count: int = 50) -> dict:
+        """Section 6 compile-time claim: time to translate one XML trigger."""
+        parameters = self.base_parameters.with_(num_triggers=1, satisfied_triggers=1)
+        workload = HierarchyWorkload(parameters)
+        database = workload.build_database()
+        view = workload.build_view()
+        service = ActiveViewService(database, mode=ExecutionMode.GROUPED_AGG)
+        service.register_view(view)
+        service.register_action("collect", lambda node: None)
+        definitions = HierarchyWorkload(
+            parameters.with_(num_triggers=trigger_count)
+        ).trigger_definitions()
+        durations = []
+        for definition in definitions[:trigger_count]:
+            started = time.perf_counter()
+            service.create_trigger(definition)
+            durations.append(time.perf_counter() - started)
+        return {
+            "triggers_compiled": len(durations),
+            "avg_compile_ms": statistics.fmean(durations) * 1000.0,
+            "max_compile_ms": max(durations) * 1000.0,
+            "first_compile_ms": durations[0] * 1000.0,
+        }
+
+
+def _print_points(points: Sequence[ExperimentPoint]) -> None:
+    for point in points:
+        row = point.as_row()
+        print("  " + "  ".join(f"{key}={value}" for key, value in row.items()))
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """Run a scaled-down version of every experiment and print the series."""
+    parameters = WorkloadParameters(leaf_tuples=8_000, fanout=32, num_triggers=200,
+                                    satisfied_triggers=10, scale=1.0)
+    harness = ExperimentHarness(parameters, updates=10)
+    print("Figure 17 (number of triggers):")
+    _print_points(harness.figure17_num_triggers((1, 10, 100, 1000)))
+    print("Figure 18 (hierarchy depth):")
+    _print_points(harness.figure18_depth((2, 3, 4)))
+    print("Figure 22 (fanout):")
+    _print_points(harness.figure22_fanout((16, 32, 64)))
+    print("Figure 23 (data size):")
+    _print_points(harness.figure23_data_size((4_000, 8_000, 16_000)))
+    print("Figure 24 (satisfied triggers):")
+    _print_points(harness.figure24_satisfied((1, 10, 20)))
+    print("Compile time:")
+    print(" ", harness.compile_time(20))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

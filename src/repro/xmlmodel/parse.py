@@ -1,0 +1,216 @@
+"""A small, dependency-free XML parser.
+
+The system itself never parses XML documents from the wild (views are
+virtual, nodes are constructed by the tagger), but tests, examples, and the
+serializer round-trip property tests need to read XML text back into the node
+model.  The parser supports the subset the serializer emits: elements,
+attributes (double- or single-quoted), character data, entity references for
+``& < > " '``, comments, and XML declarations/processing instructions (which
+are skipped).  CDATA sections are also accepted.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlParseError
+from repro.xmlmodel.node import Element, Fragment, Text, XmlNode
+
+__all__ = ["parse_xml"]
+
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Parser:
+    """Recursive-descent parser over an XML string."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.length = len(source)
+
+    # -- low-level helpers ------------------------------------------------------
+
+    def _error(self, message: str) -> XmlParseError:
+        line = self.source.count("\n", 0, self.pos) + 1
+        return XmlParseError(f"{message} (offset {self.pos}, line {line})")
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < self.length else ""
+
+    def _startswith(self, token: str) -> bool:
+        return self.source.startswith(token, self.pos)
+
+    def _expect(self, token: str) -> None:
+        if not self._startswith(token):
+            raise self._error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < self.length and self.source[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def _read_name(self) -> str:
+        start = self.pos
+        if self._peek() not in _NAME_START:
+            raise self._error("expected a name")
+        self.pos += 1
+        while self._peek() in _NAME_CHARS:
+            self.pos += 1
+        return self.source[start : self.pos]
+
+    def _decode_entities(self, value: str) -> str:
+        if "&" not in value:
+            return value
+        out: list[str] = []
+        i = 0
+        while i < len(value):
+            ch = value[i]
+            if ch != "&":
+                out.append(ch)
+                i += 1
+                continue
+            end = value.find(";", i + 1)
+            if end == -1:
+                raise XmlParseError(f"unterminated entity reference in {value!r}")
+            entity = value[i + 1 : end]
+            if entity.startswith("#x") or entity.startswith("#X"):
+                out.append(chr(int(entity[2:], 16)))
+            elif entity.startswith("#"):
+                out.append(chr(int(entity[1:])))
+            elif entity in _ENTITIES:
+                out.append(_ENTITIES[entity])
+            else:
+                raise XmlParseError(f"unknown entity &{entity};")
+            i = end + 1
+        return "".join(out)
+
+    # -- grammar ---------------------------------------------------------------------
+
+    def parse(self) -> XmlNode:
+        nodes = self._parse_content(top_level=True)
+        elements = [node for node in nodes if isinstance(node, Element)]
+        if not elements:
+            raise self._error("document contains no element")
+        if len(elements) == 1 and all(
+            isinstance(node, Element) or not node.string_value().strip() for node in nodes
+        ):
+            return elements[0]
+        return Fragment([n for n in nodes if not (isinstance(n, Text) and not n.value.strip())])
+
+    def _parse_content(self, top_level: bool = False) -> list[XmlNode]:
+        nodes: list[XmlNode] = []
+        text_start = self.pos
+        while self.pos < self.length:
+            if self._peek() == "<":
+                if self.pos > text_start:
+                    raw = self.source[text_start : self.pos]
+                    if raw:
+                        nodes.append(Text(self._decode_entities(raw)))
+                if self._startswith("</"):
+                    if top_level:
+                        raise self._error("unexpected closing tag")
+                    return nodes
+                if self._startswith("<!--"):
+                    self._skip_comment()
+                elif self._startswith("<![CDATA["):
+                    nodes.append(self._parse_cdata())
+                elif self._startswith("<?"):
+                    self._skip_processing_instruction()
+                elif self._startswith("<!"):
+                    self._skip_doctype()
+                else:
+                    nodes.append(self._parse_element())
+                text_start = self.pos
+            else:
+                self.pos += 1
+        if self.pos > text_start:
+            raw = self.source[text_start : self.pos]
+            if raw:
+                nodes.append(Text(self._decode_entities(raw)))
+        if not top_level:
+            raise self._error("unexpected end of input inside an element")
+        return nodes
+
+    def _parse_element(self) -> Element:
+        self._expect("<")
+        name = self._read_name()
+        attributes: dict[str, str] = {}
+        while True:
+            self._skip_whitespace()
+            if self._startswith("/>"):
+                self.pos += 2
+                return Element(name, attributes)
+            if self._peek() == ">":
+                self.pos += 1
+                break
+            attr_name = self._read_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            quote = self._peek()
+            if quote not in ("'", '"'):
+                raise self._error("attribute value must be quoted")
+            self.pos += 1
+            end = self.source.find(quote, self.pos)
+            if end == -1:
+                raise self._error("unterminated attribute value")
+            attributes[attr_name] = self._decode_entities(self.source[self.pos : end])
+            self.pos = end + 1
+
+        children = self._parse_content()
+        self._expect("</")
+        closing = self._read_name()
+        if closing != name:
+            raise self._error(f"mismatched closing tag </{closing}> for <{name}>")
+        self._skip_whitespace()
+        self._expect(">")
+        element = Element(name, attributes)
+        for child in children:
+            element.append(child)
+        return element
+
+    def _parse_cdata(self) -> Text:
+        self._expect("<![CDATA[")
+        end = self.source.find("]]>", self.pos)
+        if end == -1:
+            raise self._error("unterminated CDATA section")
+        value = self.source[self.pos : end]
+        self.pos = end + 3
+        return Text(value)
+
+    def _skip_comment(self) -> None:
+        self._expect("<!--")
+        end = self.source.find("-->", self.pos)
+        if end == -1:
+            raise self._error("unterminated comment")
+        self.pos = end + 3
+
+    def _skip_processing_instruction(self) -> None:
+        self._expect("<?")
+        end = self.source.find("?>", self.pos)
+        if end == -1:
+            raise self._error("unterminated processing instruction")
+        self.pos = end + 2
+
+    def _skip_doctype(self) -> None:
+        self._expect("<!")
+        depth = 1
+        while self.pos < self.length and depth:
+            ch = self.source[self.pos]
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth -= 1
+            self.pos += 1
+        if depth:
+            raise self._error("unterminated declaration")
+
+
+def parse_xml(source: str) -> XmlNode:
+    """Parse XML text into an :class:`Element` (or :class:`Fragment`)."""
+    if not source or not source.strip():
+        raise XmlParseError("empty document")
+    return _Parser(source).parse()

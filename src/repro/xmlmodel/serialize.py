@@ -1,0 +1,87 @@
+"""Serialization of XML nodes to text.
+
+Used by examples, the baseline's node comparison, and tests.  The output is
+deterministic (attribute order is the insertion order recorded on the
+element), which is what makes the paper's "string comparison in the tagger"
+(Appendix E.1) a sound way to detect ``OLD_NODE = NEW_NODE``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlError
+from repro.xmlmodel.node import Document, Element, Fragment, Text, XmlNode
+
+__all__ = ["serialize", "escape_text", "escape_attribute"]
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data."""
+    return "".join(_TEXT_ESCAPES.get(ch, ch) for ch in value)
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value (double-quoted)."""
+    return "".join(_ATTR_ESCAPES.get(ch, ch) for ch in value)
+
+
+def serialize(node: XmlNode | None, *, indent: int | None = None) -> str:
+    """Serialize a node (element, text, fragment, or document) to a string.
+
+    ``indent=None`` produces compact output; an integer pretty-prints with
+    that many spaces per nesting level.
+    """
+    if node is None:
+        return ""
+    parts: list[str] = []
+    _serialize(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def _serialize(node: XmlNode, parts: list[str], indent: int | None, depth: int) -> None:
+    if isinstance(node, Document):
+        _serialize(node.root, parts, indent, depth)
+        return
+    if isinstance(node, Fragment):
+        for i, item in enumerate(node.items):
+            if indent is not None and i > 0:
+                parts.append("\n")
+            _serialize(item, parts, indent, depth)
+        return
+    if isinstance(node, Text):
+        parts.append(escape_text(node.value))
+        return
+    if isinstance(node, Element):
+        _serialize_element(node, parts, indent, depth)
+        return
+    raise XmlError(f"cannot serialize {type(node).__name__}")  # pragma: no cover
+
+
+def _serialize_element(node: Element, parts: list[str], indent: int | None, depth: int) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    parts.append(f"{pad}<{node.name}")
+    for attribute in node.attributes:
+        parts.append(f' {attribute.name}="{escape_attribute(attribute.value)}"')
+    if not node.children:
+        parts.append("/>")
+        return
+    parts.append(">")
+
+    only_text = all(isinstance(child, Text) for child in node.children)
+    if indent is None or only_text:
+        for child in node.children:
+            _serialize(child, parts, None, 0)
+        parts.append(f"</{node.name}>")
+        return
+
+    for child in node.children:
+        parts.append("\n")
+        if isinstance(child, Text):
+            parts.append(" " * (indent * (depth + 1)))
+            parts.append(escape_text(child.value))
+        else:
+            _serialize(child, parts, indent, depth + 1)
+    parts.append("\n")
+    parts.append(f"{pad}</{node.name}>")

@@ -1,0 +1,208 @@
+"""Graph utilities for XQGM DAGs: traversal, cloning, column propagation.
+
+Three facilities the trigger-translation algorithms rely on:
+
+* :func:`walk` — post-order traversal with shared-subgraph deduplication;
+* :func:`clone_graph` — deep copy preserving DAG sharing (needed because the
+  affected-key graph joins the *same* subgraph instance back against its
+  delta counterpart);
+* :func:`replace_table_variant` — build ``G_old`` from ``G`` by swapping the
+  updated table ``B`` for ``B_old`` (Section 4.2), or swap in a transition
+  table;
+* :func:`ensure_columns` — make an operator expose additional columns by
+  propagating them up through Select / Project / Join operators ("Add K to
+  O.outputColumns", Figure 8 line 57).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import XqgmError
+from repro.xqgm.expressions import ColumnRef
+from repro.xqgm.operators import (
+    ConstantsOp,
+    GroupByOp,
+    JoinOp,
+    Operator,
+    ProjectOp,
+    SelectOp,
+    TableOp,
+    TableVariant,
+    UnionOp,
+    UnnestOp,
+)
+
+__all__ = [
+    "walk",
+    "clone_graph",
+    "replace_table_variant",
+    "ensure_columns",
+    "explain",
+    "find_tables",
+]
+
+
+def walk(top: Operator) -> Iterator[Operator]:
+    """Yield every operator reachable from ``top`` exactly once, post-order."""
+    seen: set[int] = set()
+
+    def visit(op: Operator) -> Iterator[Operator]:
+        if op.id in seen:
+            return
+        seen.add(op.id)
+        for input_op in op.inputs:
+            yield from visit(input_op)
+        yield op
+
+    yield from visit(top)
+
+
+def find_tables(top: Operator) -> list[TableOp]:
+    """All Table operators in the graph (shared operators reported once)."""
+    return [op for op in walk(top) if isinstance(op, TableOp)]
+
+
+def clone_graph(
+    top: Operator,
+    memo: dict[int, Operator] | None = None,
+    transform: Callable[[Operator, list[Operator]], Operator | None] | None = None,
+) -> Operator:
+    """Deep-copy an XQGM DAG, preserving shared subgraphs.
+
+    ``transform(original, cloned_inputs)`` may return a replacement operator
+    for a node; returning ``None`` falls back to the default structural copy.
+    """
+    memo = {} if memo is None else memo
+
+    def copy(op: Operator) -> Operator:
+        if op.id in memo:
+            return memo[op.id]
+        cloned_inputs = [copy(input_op) for input_op in op.inputs]
+        replacement = transform(op, cloned_inputs) if transform else None
+        if replacement is None:
+            replacement = _structural_copy(op, cloned_inputs)
+        memo[op.id] = replacement
+        return replacement
+
+    return copy(top)
+
+
+def _structural_copy(op: Operator, inputs: list[Operator]) -> Operator:
+    if isinstance(op, TableOp):
+        return TableOp(op.table, op.alias, op.columns, op.variant, op.label)
+    if isinstance(op, ConstantsOp):
+        return ConstantsOp(op.name, op.output_columns, op.label)
+    if isinstance(op, SelectOp):
+        return SelectOp(inputs[0], op.predicate, op.label)
+    if isinstance(op, ProjectOp):
+        return ProjectOp(inputs[0], list(op.projections), op.label)
+    if isinstance(op, JoinOp):
+        return JoinOp(inputs, op.condition, op.equi_pairs, op.join_kind, op.label)
+    if isinstance(op, GroupByOp):
+        return GroupByOp(inputs[0], op.grouping, op.aggregates, op.order_within_group, op.label)
+    if isinstance(op, UnionOp):
+        return UnionOp(inputs, op.output_columns, list(op.mappings), op.all, op.label)
+    if isinstance(op, UnnestOp):
+        return UnnestOp(inputs[0], op.source_column, op.item_column, op.ordinal_column, op.label)
+    raise XqgmError(f"cannot clone operator {op.kind}")  # pragma: no cover
+
+
+def replace_table_variant(
+    top: Operator,
+    table: str,
+    variant: TableVariant,
+    *,
+    only_variant: TableVariant = TableVariant.CURRENT,
+) -> Operator:
+    """Clone the graph, switching Table operators on ``table`` to ``variant``.
+
+    Only operators currently reading ``only_variant`` are switched, so a graph
+    that already mixes CURRENT and delta scans is not disturbed.  Used to
+    build ``G_old`` (every ``CURRENT`` scan of the updated table becomes an
+    ``OLD`` scan) per Section 4.2.
+    """
+
+    def transform(op: Operator, inputs: list[Operator]) -> Operator | None:
+        if isinstance(op, TableOp) and op.table == table and op.variant is only_variant:
+            return TableOp(op.table, op.alias, op.columns, variant, op.label)
+        return None
+
+    return clone_graph(top, transform=transform)
+
+
+def ensure_columns(op: Operator, columns: Sequence[str]) -> None:
+    """Make ``op`` output every column in ``columns``, propagating if needed.
+
+    This implements "Add K to O.outputColumns" (Figure 8, line 57): key
+    columns that exist lower in the graph are pulled up through Project /
+    Select / Join operators by adding pass-through projections.  GroupBy and
+    Union operators cannot transparently propagate arbitrary columns; asking
+    them to do so raises :class:`~repro.errors.XqgmError`.
+    """
+    missing = [column for column in columns if column not in op.output_columns]
+    if not missing:
+        return
+    if isinstance(op, TableOp):
+        raise XqgmError(
+            f"table operator {op.alias!r} cannot provide column(s) {missing!r}"
+        )
+    if isinstance(op, SelectOp):
+        ensure_columns(op.input, missing)
+        return
+    if isinstance(op, ProjectOp):
+        ensure_columns(op.input, missing)
+        for column in missing:
+            op.add_projection(column, ColumnRef(column))
+        return
+    if isinstance(op, JoinOp):
+        for column in missing:
+            provided = False
+            for input_op in op.inputs:
+                if column in input_op.output_columns:
+                    provided = True
+                    break
+            if not provided:
+                errors = []
+                for input_op in op.inputs:
+                    try:
+                        ensure_columns(input_op, [column])
+                        provided = True
+                        break
+                    except XqgmError as exc:
+                        errors.append(str(exc))
+                if not provided:
+                    raise XqgmError(
+                        f"join cannot provide column {column!r}: {'; '.join(errors)}"
+                    )
+        return
+    if isinstance(op, GroupByOp):
+        raise XqgmError(
+            f"GroupBy (grouping on {list(op.grouping)}) cannot propagate column(s) "
+            f"{missing!r}; only grouping columns are available above a GroupBy"
+        )
+    if isinstance(op, UnionOp):
+        raise XqgmError(f"Union cannot propagate column(s) {missing!r}")
+    if isinstance(op, UnnestOp):
+        ensure_columns(op.input, missing)
+        return
+    raise XqgmError(f"cannot propagate columns through {op.kind}")  # pragma: no cover
+
+
+def explain(top: Operator, indent: int = 0) -> str:
+    """Render the graph as an indented text tree (shared nodes marked)."""
+    lines: list[str] = []
+    seen: set[int] = set()
+
+    def visit(op: Operator, depth: int) -> None:
+        pad = "  " * depth
+        if op.id in seen:
+            lines.append(f"{pad}#{op.id} {op.describe()} (shared)")
+            return
+        seen.add(op.id)
+        lines.append(f"{pad}#{op.id} {op.describe()}")
+        for input_op in op.inputs:
+            visit(input_op, depth + 1)
+
+    visit(top, indent)
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Canonical keys of XQGM operators (Definition 1, Appendix A, Table 3).
+
+The identity of a (virtual) XML element in a view is defined through the
+canonical key of the operator that produces it.  Keys are derived bottom-up:
+
+* ``Table`` — the relational primary key (qualified by the operator's alias);
+* ``Select`` / ``Project`` — the key of the input operator;
+* ``Join`` — the concatenation of the input keys;
+* ``GroupBy`` — the grouping columns;
+* ``Union`` — the input keys mapped through the output-column mapping;
+* ``Unnest`` — the input key plus the ordinal column (the paper excludes
+  Unnest from Table 3 because it can always be composed away — Theorem 1 —
+  but we still derive a usable key when an ordinal column is available).
+
+A view is *trigger-specifiable* (Definition 4) iff every operator has a
+canonical key; per Theorem 1 this holds whenever every base table has a
+primary key.  :func:`derive_keys` raises
+:class:`~repro.errors.KeyDerivationError` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import KeyDerivationError
+from repro.relational.database import Database
+from repro.relational.schema import TableSchema
+from repro.xqgm.operators import (
+    ConstantsOp,
+    GroupByOp,
+    JoinOp,
+    Operator,
+    ProjectOp,
+    SelectOp,
+    TableOp,
+    UnionOp,
+    UnnestOp,
+)
+
+__all__ = ["operator_key", "derive_keys", "SchemaCatalog"]
+
+SchemaCatalog = Mapping[str, TableSchema]
+
+
+def _catalog_from(source: Database | SchemaCatalog) -> SchemaCatalog:
+    if isinstance(source, Database):
+        return {name: source.schema(name) for name in source.table_names()}
+    return source
+
+
+def operator_key(op: Operator, catalog: Database | SchemaCatalog) -> tuple[str, ...]:
+    """Derive the canonical key of a single operator (memoized on the operator)."""
+    cached = getattr(op, "canonical_key", None)
+    if cached is not None:
+        return cached
+    catalog = _catalog_from(catalog)
+    key = _derive(op, catalog, {})
+    return key
+
+
+def derive_keys(top: Operator, catalog: Database | SchemaCatalog) -> dict[int, tuple[str, ...]]:
+    """Derive canonical keys for every operator reachable from ``top``.
+
+    Returns a mapping from operator id to key, and memoizes the key on each
+    operator as ``op.canonical_key``.  Raises
+    :class:`~repro.errors.KeyDerivationError` if any operator lacks a key
+    (i.e. the view is not trigger-specifiable, Definition 4).
+    """
+    catalog = _catalog_from(catalog)
+    memo: dict[int, tuple[str, ...]] = {}
+    _derive(top, catalog, memo)
+    return memo
+
+
+def _derive(op: Operator, catalog: SchemaCatalog, memo: dict[int, tuple[str, ...]]) -> tuple[str, ...]:
+    if op.id in memo:
+        return memo[op.id]
+
+    if isinstance(op, TableOp):
+        key = _table_key(op, catalog)
+    elif isinstance(op, ConstantsOp):
+        # Every row of a constants table is unique by construction; all of its
+        # columns together form the key.
+        key = tuple(op.output_columns)
+    elif isinstance(op, (SelectOp, ProjectOp)):
+        key = _derive(op.inputs[0], catalog, memo)
+    elif isinstance(op, JoinOp):
+        parts: list[str] = []
+        for input_op in op.inputs:
+            for column in _derive(input_op, catalog, memo):
+                if column not in parts:
+                    parts.append(column)
+        key = tuple(parts)
+    elif isinstance(op, GroupByOp):
+        key = tuple(op.grouping)
+    elif isinstance(op, UnionOp):
+        key = _union_key(op, catalog, memo)
+    elif isinstance(op, UnnestOp):
+        input_key = _derive(op.inputs[0], catalog, memo)
+        if op.ordinal_column is None:
+            raise KeyDerivationError(
+                "Unnest operator needs an ordinal column to have a canonical key; "
+                "compose the view to remove Unnest operators (Theorem 1)"
+            )
+        key = tuple(input_key) + (op.ordinal_column,)
+    else:  # pragma: no cover - defensive
+        raise KeyDerivationError(f"cannot derive a key for operator {op.kind}")
+
+    memo[op.id] = key
+    op.canonical_key = key
+    return key
+
+
+def _table_key(op: TableOp, catalog: SchemaCatalog) -> tuple[str, ...]:
+    schema = catalog.get(op.table)
+    if schema is None:
+        raise KeyDerivationError(f"unknown table {op.table!r} in XQGM graph")
+    if op.columns is None:
+        op.bind_schema(schema.column_names)
+    if not schema.primary_key:
+        raise KeyDerivationError(
+            f"table {op.table!r} has no primary key; the view is not "
+            "trigger-specifiable (Theorem 1)"
+        )
+    return tuple(op.qualified(column) for column in schema.primary_key)
+
+
+def _union_key(op: UnionOp, catalog: SchemaCatalog, memo: dict[int, tuple[str, ...]]) -> tuple[str, ...]:
+    # K_O = union over inputs of M(c) for each c in the input's key, where M
+    # maps input columns to output columns (Table 3).
+    key: list[str] = []
+    for input_op, mapping in zip(op.inputs, op.mappings):
+        inverse = {input_column: output_column for output_column, input_column in mapping.items()}
+        for column in _derive(input_op, catalog, memo):
+            mapped = inverse.get(column)
+            if mapped is None:
+                raise KeyDerivationError(
+                    f"Union input key column {column!r} is not mapped to an output column"
+                )
+            if mapped not in key:
+                key.append(mapped)
+    if not key:
+        raise KeyDerivationError("Union operator has no derivable key")
+    return tuple(key)

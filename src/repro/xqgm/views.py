@@ -1,0 +1,550 @@
+"""Hierarchical XML view definitions and their XQGM graphs.
+
+A :class:`ViewElementSpec` declaratively describes one element type of an XML
+view of relational data: which base table it is derived from, which columns
+identify one element (its *element key*), its attributes and scalar content,
+nested child element types (linked by join columns), extra aggregates over
+the children, and selection predicates — including *nested predicates* over
+aggregates (the catalog view's ``count($vendors) >= 2``), which are exactly
+the views the paper's Section 4.1 identifies as the hard case.
+
+From a spec, :class:`ViewDefinition` builds:
+
+* the full XQGM graph of the view (Figure 5), used by the MATERIALIZED
+  baseline and by ad-hoc queries;
+* *path graphs* (Figure 5A): for a path such as ``/product`` or
+  ``/product/vendor``, an XQGM graph producing one tuple per monitored XML
+  node, with a designated node column and the canonical key columns —
+  the input to the affected-key / affected-node algorithms of Section 4.
+
+The canonical catalog view of the paper is available via
+:func:`catalog_view`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import XqgmError
+from repro.relational.database import Database
+from repro.relational.schema import TableSchema
+from repro.xmlmodel.node import Element, Fragment
+from repro.xqgm.expressions import (
+    AggregateSpec,
+    AttributeSpec,
+    ColumnRef,
+    Comparison,
+    Constant,
+    ElementConstructor,
+    Expression,
+)
+from repro.xqgm.evaluate import EvaluationContext, evaluate
+from repro.xqgm.graph import ensure_columns
+from repro.xqgm.keys import derive_keys
+from repro.xqgm.operators import (
+    GroupByOp,
+    JoinOp,
+    Operator,
+    ProjectOp,
+    SelectOp,
+    TableOp,
+)
+
+__all__ = ["ViewElementSpec", "ViewDefinition", "PathGraph", "catalog_view"]
+
+
+def _as_expression(source: str | Expression) -> Expression:
+    return ColumnRef(source) if isinstance(source, str) else source
+
+
+@dataclass
+class ViewElementSpec:
+    """Declarative description of one element type in a hierarchical view.
+
+    Parameters
+    ----------
+    name:
+        The XML element tag (``product``, ``vendor``, ...).
+    table:
+        The base relational table this element type is derived from.
+    alias:
+        Alias used to qualify the table's columns in the XQGM graph
+        (defaults to the table name).
+    element_key:
+        Columns (qualified, e.g. ``P.pname``) whose distinct values identify
+        one element.  Defaults to the table's primary key.  When the element
+        key differs from the primary key (as in the paper's catalog view,
+        keyed by product *name*), multiple base rows may contribute to one
+        element.
+    attributes:
+        ``(attribute_name, source)`` pairs; ``source`` is a qualified column
+        or an expression over group-level columns.
+    content:
+        ``(child_tag, source)`` pairs emitted as scalar child elements
+        (``<pid>P1</pid>`` style), in order.
+    where:
+        Row-level predicate over this element's table columns.
+    having:
+        Group-level predicate over the element key, declared aggregates, and
+        the implicit per-child aggregates ``count_<child>`` — this is the
+        *nested predicate* case of Section 4.1.
+    aggregates:
+        Extra aggregates computed over the joined child rows (e.g.
+        ``AggregateSpec('min_price', 'min', ColumnRef('V.price'))``).
+    children:
+        Nested element types.
+    link:
+        For a nested spec: ``(child_column, parent_column)`` join pairs
+        linking this element's table to the parent's table.
+    include_fragment:
+        Whether the parent element embeds this child's constructed elements
+        (True for ordinary nesting; False when a child only feeds aggregates).
+    """
+
+    name: str
+    table: str
+    alias: str | None = None
+    element_key: Sequence[str] | None = None
+    attributes: Sequence[tuple[str, str | Expression]] = ()
+    content: Sequence[tuple[str, str | Expression]] = ()
+    where: Expression | None = None
+    having: Expression | None = None
+    aggregates: Sequence[AggregateSpec] = ()
+    children: Sequence["ViewElementSpec"] = ()
+    link: Sequence[tuple[str, str]] = ()
+    include_fragment: bool = True
+
+    def __post_init__(self) -> None:
+        if self.alias is None:
+            self.alias = self.table
+        self.attributes = list(self.attributes)
+        self.content = list(self.content)
+        self.aggregates = list(self.aggregates)
+        self.children = list(self.children)
+        self.link = [tuple(pair) for pair in self.link]
+        if self.element_key is not None:
+            self.element_key = list(self.element_key)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def qualified(self, column: str) -> str:
+        """Qualify a bare column name with this spec's alias."""
+        return column if "." in column else f"{self.alias}.{column}"
+
+    def node_column(self) -> str:
+        """Name of the column carrying this element's constructed node."""
+        return f"{self.name}__node"
+
+    def fragment_column(self) -> str:
+        """Name of the aggregate column holding this element's fragment in the parent."""
+        return f"frag_{self.name}"
+
+    def count_column(self) -> str:
+        """Name of the implicit per-child count aggregate in the parent."""
+        return f"count_{self.name}"
+
+    def resolved_key(self, catalog: Mapping[str, TableSchema]) -> list[str]:
+        """The element key (qualified), defaulting to the table's primary key."""
+        if self.element_key:
+            return [self.qualified(column) for column in self.element_key]
+        schema = catalog.get(self.table)
+        if schema is None or not schema.primary_key:
+            raise XqgmError(
+                f"element {self.name!r}: no element_key given and table "
+                f"{self.table!r} has no primary key"
+            )
+        return [self.qualified(column) for column in schema.primary_key]
+
+
+@dataclass
+class PathGraph:
+    """The XQGM graph monitoring one path of a view (Figure 5A).
+
+    ``top`` produces one tuple per XML node reachable by the path;
+    ``node_column`` holds the constructed node and ``key_columns`` its
+    canonical key.  ``level_specs`` records the chain of element specs from
+    the view root down to the monitored element (used by the pushdown and
+    grouping stages).
+    """
+
+    view_name: str
+    path: tuple[str, ...]
+    top: Operator
+    node_column: str
+    key_columns: tuple[str, ...]
+    level_specs: tuple[ViewElementSpec, ...]
+
+
+class ViewDefinition:
+    """An XML view of relational data defined by a hierarchy of element specs."""
+
+    def __init__(
+        self,
+        name: str,
+        root_element: str,
+        roots: Sequence[ViewElementSpec] | ViewElementSpec,
+    ) -> None:
+        self.name = name
+        self.root_element = root_element
+        if isinstance(roots, ViewElementSpec):
+            roots = [roots]
+        if not roots:
+            raise XqgmError(f"view {self.name!r} must contain at least one element spec")
+        self.roots: list[ViewElementSpec] = list(roots)
+
+    # -- catalog helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _catalog(source: Database | Mapping[str, TableSchema]) -> Mapping[str, TableSchema]:
+        if isinstance(source, Database):
+            return {name: source.schema(name) for name in source.table_names()}
+        return source
+
+    def base_tables(self) -> list[str]:
+        """All base tables referenced by the view (depth-first, deduplicated)."""
+        tables: list[str] = []
+
+        def visit(spec: ViewElementSpec) -> None:
+            if spec.table not in tables:
+                tables.append(spec.table)
+            for child in spec.children:
+                visit(child)
+
+        for root in self.roots:
+            visit(root)
+        return tables
+
+    def find_path(self, path: Sequence[str]) -> list[ViewElementSpec]:
+        """Resolve a path (element names) to the chain of specs it traverses."""
+        steps = [step for step in path if step]
+        if not steps:
+            raise XqgmError(f"view {self.name!r}: empty path")
+        chain: list[ViewElementSpec] = []
+        candidates = self.roots
+        for step in steps:
+            match = next((spec for spec in candidates if spec.name == step), None)
+            if match is None:
+                known = [spec.name for spec in candidates]
+                raise XqgmError(
+                    f"view {self.name!r}: path step {step!r} not found (expected one of {known!r})"
+                )
+            chain.append(match)
+            candidates = list(match.children)
+        return chain
+
+    # -- graph construction ---------------------------------------------------------
+
+    def element_rows_graph(
+        self, spec: ViewElementSpec, catalog: Mapping[str, TableSchema]
+    ) -> tuple[Operator, list[str]]:
+        """Build the subgraph producing one tuple per element of ``spec``.
+
+        Returns ``(top operator, extra columns)``: the top operator outputs
+        the element's node column, its element-key columns, and its link
+        columns to the parent (so the parent can join/aggregate).
+        """
+        table_op = TableOp(spec.table, spec.alias, catalog[spec.table].column_names)
+        current: Operator = table_op
+        if spec.where is not None:
+            current = SelectOp(current, spec.where, label=f"where[{spec.name}]")
+
+        element_key = spec.resolved_key(catalog)
+        link_child_columns = [spec.qualified(child_col) for child_col, _ in spec.link]
+
+        child_outputs: list[tuple[ViewElementSpec, Operator, list[str]]] = []
+        for child in spec.children:
+            child_top, child_link_columns = self.element_rows_graph(child, catalog)
+            # Columns of the child's table referenced by this level's extra
+            # aggregates (e.g. min(V.price)) must survive the child's Project.
+            needed = set()
+            for aggregate in spec.aggregates:
+                for column in aggregate.referenced_columns():
+                    if column.startswith(f"{child.alias}."):
+                        needed.add(column)
+            if needed:
+                ensure_columns(child_top, sorted(needed))
+            child_outputs.append((child, child_top, child_link_columns))
+
+        # Join this element's (filtered) table with each child subgraph.
+        for child, child_top, child_link_columns in child_outputs:
+            pairs = [
+                (child.qualified(child_col), spec.qualified(parent_col))
+                for child_col, parent_col in child.link
+            ]
+            if not pairs:
+                raise XqgmError(
+                    f"child element {child.name!r} of {spec.name!r} has no link columns"
+                )
+            current = JoinOp(
+                [current, child_top],
+                equi_pairs=pairs,
+                label=f"join[{spec.name}-{child.name}]",
+            )
+
+        group_needed = bool(spec.children) or bool(spec.aggregates) or (
+            spec.element_key is not None
+        )
+
+        # Columns of this level that must survive grouping: the element key,
+        # the link columns to the parent, and any plain columns referenced by
+        # attributes / content expressions.
+        referenced: list[str] = list(element_key)
+        for column in link_child_columns:
+            if column not in referenced:
+                referenced.append(column)
+        for _, source in list(spec.attributes) + list(spec.content):
+            expression = _as_expression(source)
+            for column in sorted(expression.referenced_columns()):
+                if column.startswith(f"{spec.alias}.") and column not in referenced:
+                    referenced.append(column)
+
+        group_columns = referenced
+        aggregate_specs: list[AggregateSpec] = []
+        order_columns: list[str] = []
+        if group_needed:
+            for child, child_top, _ in child_outputs:
+                child_key = child.resolved_key(catalog)
+                order_columns.extend(child_key)
+                if child.include_fragment:
+                    aggregate_specs.append(
+                        AggregateSpec(
+                            child.fragment_column(), "xmlfrag", ColumnRef(child.node_column())
+                        )
+                    )
+                aggregate_specs.append(
+                    AggregateSpec(child.count_column(), "count", ColumnRef(child_key[0]))
+                )
+            aggregate_specs.extend(spec.aggregates)
+            current = GroupByOp(
+                current,
+                group_columns,
+                aggregate_specs,
+                order_within_group=order_columns,
+                label=f"group[{spec.name}]",
+            )
+
+        if spec.having is not None:
+            current = SelectOp(current, spec.having, label=f"having[{spec.name}]")
+
+        # Construct the element node.
+        attribute_specs = tuple(
+            AttributeSpec(attr_name, _as_expression(source))
+            for attr_name, source in spec.attributes
+        )
+        child_expressions: list[Expression] = []
+        child_labels: list[str | None] = []
+        for child_tag, source in spec.content:
+            child_expressions.append(_as_expression(source))
+            child_labels.append(child_tag)
+        for child, _, _ in child_outputs:
+            if child.include_fragment:
+                child_expressions.append(ColumnRef(child.fragment_column()))
+                child_labels.append(None)
+        constructor = ElementConstructor(
+            spec.name, attribute_specs, tuple(child_expressions), tuple(child_labels)
+        )
+
+        projections: list[tuple[str, Expression]] = [(spec.node_column(), constructor)]
+        for column in element_key:
+            projections.append((column, ColumnRef(column)))
+        for column in link_child_columns:
+            if column not in element_key:
+                projections.append((column, ColumnRef(column)))
+        top = ProjectOp(current, projections, label=f"construct[{spec.name}]")
+        return top, link_child_columns
+
+    def path_graph(
+        self, path: Sequence[str] | str, catalog: Database | Mapping[str, TableSchema]
+    ) -> PathGraph:
+        """Build the path graph (Figure 5A) for a path within this view.
+
+        ``path`` may be a string like ``"/product/vendor"`` or a sequence of
+        element names.  The resulting graph produces one tuple per XML node
+        selected by the path *in the view* — in particular, a nested node is
+        produced only when all enclosing elements satisfy their predicates.
+        """
+        catalog = self._catalog(catalog)
+        if isinstance(path, str):
+            steps = [step for step in path.strip("/").split("/") if step]
+        else:
+            steps = list(path)
+        chain = self.find_path(steps)
+
+        top: Operator | None = None
+        key_columns: list[str] = []
+        node_column = ""
+        for depth, spec in enumerate(chain):
+            level_top, _ = self.element_rows_graph(spec, catalog)
+            level_key = spec.resolved_key(catalog)
+            node_column = spec.node_column()
+            if top is None:
+                top = level_top
+                key_columns = list(level_key)
+                continue
+            # Join the enclosing (qualifying) elements with this level's rows,
+            # so nested nodes inherit their ancestors' selection predicates.
+            parent_spec = chain[depth - 1]
+            parent_key = parent_spec.resolved_key(catalog)
+            parent_link_columns = [
+                parent_spec.qualified(parent_col) for _, parent_col in spec.link
+            ]
+            if set(parent_link_columns) <= set(parent_key):
+                # The link already targets the parent's element key.
+                child_side: Operator = level_top
+                pairs = [
+                    (spec.qualified(child_col), parent_spec.qualified(parent_col))
+                    for child_col, parent_col in spec.link
+                ]
+            else:
+                # The parent element is keyed differently from its table's
+                # link columns (e.g. products keyed by name): map the child's
+                # link columns to the parent element key through the parent
+                # table, then join on the element key.
+                parent_table_op = TableOp(
+                    parent_spec.table,
+                    parent_spec.alias,
+                    catalog[parent_spec.table].column_names,
+                )
+                mapping_side: Operator = parent_table_op
+                if parent_spec.where is not None:
+                    mapping_side = SelectOp(mapping_side, parent_spec.where)
+                child_side = JoinOp(
+                    [level_top, mapping_side],
+                    equi_pairs=[
+                        (spec.qualified(child_col), parent_spec.qualified(parent_col))
+                        for child_col, parent_col in spec.link
+                    ],
+                    label=f"path-link[{spec.name}]",
+                )
+                pairs = [(column, column) for column in parent_key]
+            top = JoinOp([child_side, top], equi_pairs=pairs, label=f"path-join[{spec.name}]")
+            key_columns = key_columns + [c for c in level_key if c not in key_columns]
+
+        assert top is not None
+        # The node column plus the accumulated key must be visible at the top.
+        projections: list[tuple[str, Expression]] = [(node_column, ColumnRef(node_column))]
+        for column in key_columns:
+            projections.append((column, ColumnRef(column)))
+        top = ProjectOp(top, projections, label=f"path[{'/'.join(steps)}]")
+        derive_keys(top, catalog)
+        return PathGraph(
+            view_name=self.name,
+            path=tuple(steps),
+            top=top,
+            node_column=node_column,
+            key_columns=tuple(key_columns),
+            level_specs=tuple(chain),
+        )
+
+    def document_graph(self, catalog: Database | Mapping[str, TableSchema]) -> tuple[Operator, str]:
+        """Build the graph producing the single root element of the view."""
+        catalog = self._catalog(catalog)
+        root_tops: list[tuple[ViewElementSpec, Operator]] = []
+        for root in self.roots:
+            top, _ = self.element_rows_graph(root, catalog)
+            root_tops.append((root, top))
+
+        fragments: list[Expression] = []
+        if len(root_tops) == 1:
+            root, top = root_tops[0]
+            grouped = GroupByOp(
+                top,
+                [],
+                [AggregateSpec(root.fragment_column(), "xmlfrag", ColumnRef(root.node_column()))],
+                order_within_group=root.resolved_key(catalog),
+                label="collect-roots",
+            )
+            fragments.append(ColumnRef(root.fragment_column()))
+            source: Operator = grouped
+        else:
+            # Multiple root element types: aggregate each and cross-join the
+            # single-row results.
+            grouped_ops: list[Operator] = []
+            for root, top in root_tops:
+                grouped_ops.append(
+                    GroupByOp(
+                        top,
+                        [],
+                        [
+                            AggregateSpec(
+                                root.fragment_column(), "xmlfrag", ColumnRef(root.node_column())
+                            )
+                        ],
+                        order_within_group=root.resolved_key(catalog),
+                        label=f"collect-{root.name}",
+                    )
+                )
+                fragments.append(ColumnRef(root.fragment_column()))
+            source = JoinOp(grouped_ops, label="combine-roots") if len(grouped_ops) > 1 else grouped_ops[0]
+
+        document_column = f"{self.root_element}__node"
+        constructor = ElementConstructor(self.root_element, (), tuple(fragments))
+        top = ProjectOp(source, [(document_column, constructor)], label="construct-root")
+        return top, document_column
+
+    # -- materialization -----------------------------------------------------------
+
+    def materialize(
+        self,
+        database: Database,
+        context: EvaluationContext | None = None,
+    ) -> Element:
+        """Evaluate the whole view and return its root element.
+
+        This is what the MATERIALIZED baseline does on every update — the
+        approach the paper's introduction argues against, kept here as a
+        correctness oracle and comparison point.
+        """
+        catalog = self._catalog(database)
+        top, document_column = self.document_graph(catalog)
+        ctx = context or EvaluationContext(database)
+        rows = evaluate(top, ctx)
+        if not rows:
+            return Element(self.root_element)
+        return rows[0][document_column]
+
+    def element_nodes(
+        self,
+        path: Sequence[str] | str,
+        database: Database,
+        context: EvaluationContext | None = None,
+    ) -> dict[tuple, Element]:
+        """Materialize the nodes selected by ``path``, keyed by canonical key."""
+        graph = self.path_graph(path, database)
+        ctx = context or EvaluationContext(database)
+        rows = evaluate(graph.top, ctx)
+        return {
+            tuple(row[column] for column in graph.key_columns): row[graph.node_column]
+            for row in rows
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ViewDefinition({self.name!r}, roots={[r.name for r in self.roots]})"
+
+
+# ---------------------------------------------------------------------------
+# The paper's running example
+# ---------------------------------------------------------------------------
+
+
+def catalog_view(min_vendors: int = 2) -> ViewDefinition:
+    """The catalog view of Figures 3-5: products (grouped by name) with nested
+    vendors, restricted to products sold by at least ``min_vendors`` vendors."""
+    vendor = ViewElementSpec(
+        name="vendor",
+        table="vendor",
+        alias="V",
+        content=[("pid", "V.pid"), ("vid", "V.vid"), ("price", "V.price")],
+        link=[("pid", "pid")],
+    )
+    product = ViewElementSpec(
+        name="product",
+        table="product",
+        alias="P",
+        element_key=["pname"],
+        attributes=[("name", "P.pname")],
+        children=[vendor],
+        having=Comparison(">=", ColumnRef("count_vendor"), Constant(min_vendors)),
+    )
+    return ViewDefinition("catalog", "catalog", product)

@@ -1,0 +1,71 @@
+"""Shared fixtures: the paper's running example database and catalog view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import Column, DataType, Database, ForeignKey, TableSchema
+from repro.xqgm.views import ViewDefinition, catalog_view
+
+PRODUCTS = [
+    {"pid": "P1", "pname": "CRT 15", "mfr": "Samsung"},
+    {"pid": "P2", "pname": "LCD 19", "mfr": "Samsung"},
+    {"pid": "P3", "pname": "CRT 15", "mfr": "Viewsonic"},
+]
+
+VENDORS = [
+    {"vid": "Amazon", "pid": "P1", "price": 100.0},
+    {"vid": "Bestbuy", "pid": "P1", "price": 120.0},
+    {"vid": "Circuitcity", "pid": "P1", "price": 150.0},
+    {"vid": "Buy.com", "pid": "P2", "price": 200.0},
+    {"vid": "Bestbuy", "pid": "P2", "price": 180.0},
+    {"vid": "Bestbuy", "pid": "P3", "price": 120.0},
+    {"vid": "Circuitcity", "pid": "P3", "price": 140.0},
+]
+
+
+def build_paper_database(with_foreign_keys: bool = True) -> Database:
+    """The product/vendor database of Figure 2."""
+    db = Database("paper")
+    db.create_table(
+        TableSchema(
+            "product",
+            [
+                Column("pid", DataType.TEXT, nullable=False),
+                Column("pname", DataType.TEXT, nullable=False),
+                Column("mfr", DataType.TEXT),
+            ],
+            primary_key=["pid"],
+        )
+    )
+    foreign_keys = (
+        [ForeignKey(("pid",), "product", ("pid",))] if with_foreign_keys else []
+    )
+    db.create_table(
+        TableSchema(
+            "vendor",
+            [
+                Column("vid", DataType.TEXT, nullable=False),
+                Column("pid", DataType.TEXT, nullable=False),
+                Column("price", DataType.REAL, nullable=False),
+            ],
+            primary_key=["vid", "pid"],
+            foreign_keys=foreign_keys,
+        )
+    )
+    db.load_rows("product", PRODUCTS)
+    db.load_rows("vendor", VENDORS)
+    db.create_index("vendor", ["pid"])
+    return db
+
+
+@pytest.fixture
+def paper_db() -> Database:
+    """Fresh copy of the Figure 2 database for each test."""
+    return build_paper_database()
+
+
+@pytest.fixture
+def catalog() -> ViewDefinition:
+    """The catalog view of Figure 3 (products with >= 2 vendors)."""
+    return catalog_view()

@@ -1,0 +1,173 @@
+"""Unit tests for CreateAKGraph / CreateANGraph on the paper's running example."""
+
+import pytest
+
+from repro.errors import TriggerCompilationError
+from repro.relational import TriggerEvent
+from repro.relational.triggers import TriggerContext
+from repro.xmlmodel import serialize
+from repro.xqgm import EvaluationContext, TableVariant, evaluate
+from repro.xqgm.views import catalog_view
+from repro.core.affected_keys import create_ak_graph
+from repro.core.affected_nodes import NEW_NODE, OLD_NODE, create_an_graph
+
+from tests.conftest import build_paper_database
+
+
+def _context(db, result, event):
+    return TriggerContext(db, result.table, event, result.inserted, result.deleted)
+
+
+@pytest.fixture
+def db():
+    return build_paper_database()
+
+
+@pytest.fixture
+def path_graph(db):
+    return catalog_view().path_graph("/product", db)
+
+
+class TestCreateAKGraph:
+    def test_unrelated_table_yields_empty(self, db, path_graph):
+        ak = create_ak_graph(path_graph.top, "no_such_table", TableVariant.DELTA_INSERTED, db)
+        assert ak.is_empty
+
+    def test_key_pairs_cover_path_key(self, db, path_graph):
+        ak = create_ak_graph(path_graph.top, "vendor", TableVariant.DELTA_INSERTED, db)
+        assert not ak.is_empty
+        assert ak.graph_columns == ("P.pname",)
+
+    def test_nested_predicate_insert_detected(self, db, path_graph):
+        """Section 4.1: the Δvendor-only propagation misses the update; ours must not."""
+        ak = create_ak_graph(path_graph.top, "vendor", TableVariant.DELTA_INSERTED, db)
+        result = db.insert("vendor", {"vid": "Amazon", "pid": "P2", "price": 500.0},
+                           fire_triggers=False)
+        rows = evaluate(ak.op, EvaluationContext(db, _context(db, result, TriggerEvent.INSERT)))
+        assert {row[ak.key_columns[0]] for row in rows} == {"LCD 19"}
+
+    def test_update_affects_only_touched_group(self, db, path_graph):
+        ak = create_ak_graph(path_graph.top, "vendor", TableVariant.PRUNED_INSERTED, db)
+        result = db.update(
+            "vendor", {"price": 75.0},
+            where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1", fire_triggers=False
+        )
+        rows = evaluate(ak.op, EvaluationContext(db, _context(db, result, TriggerEvent.UPDATE)))
+        assert {row[ak.key_columns[0]] for row in rows} == {"CRT 15"}
+
+    def test_product_table_update_keys(self, db, path_graph):
+        ak = create_ak_graph(path_graph.top, "product", TableVariant.PRUNED_INSERTED, db)
+        result = db.update("product", {"pname": "CRT 15 HD"},
+                           where=lambda r: r["pid"] == "P1", fire_triggers=False)
+        rows = evaluate(ak.op, EvaluationContext(db, _context(db, result, TriggerEvent.UPDATE)))
+        assert {row[ak.key_columns[0]] for row in rows} == {"CRT 15 HD"}
+
+
+class TestCreateANGraphUpdate:
+    def test_vendor_insert_reports_product_update(self, db, path_graph):
+        an = create_an_graph(TriggerEvent.UPDATE, path_graph, "vendor", db)
+        result = db.insert("vendor", {"vid": "Amazon", "pid": "P2", "price": 500.0},
+                           fire_triggers=False)
+        rows = evaluate(an.top, EvaluationContext(db, _context(db, result, TriggerEvent.INSERT)))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["P.pname"] == "LCD 19"
+        assert len(row[OLD_NODE].child_elements("vendor")) == 2
+        assert len(row[NEW_NODE].child_elements("vendor")) == 3
+
+    def test_price_update_old_and_new_values(self, db, path_graph):
+        an = create_an_graph(TriggerEvent.UPDATE, path_graph, "vendor", db)
+        result = db.update(
+            "vendor", {"price": 75.0},
+            where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1", fire_triggers=False
+        )
+        rows = evaluate(an.top, EvaluationContext(db, _context(db, result, TriggerEvent.UPDATE)))
+        assert len(rows) == 1
+        old_prices = [p.string_value() for p in rows[0][OLD_NODE].iter_descendants()
+                      if getattr(p, "name", None) == "price"]
+        new_prices = [p.string_value() for p in rows[0][NEW_NODE].iter_descendants()
+                      if getattr(p, "name", None) == "price"]
+        assert "100.0" in old_prices and "100.0" not in new_prices
+        assert "75.0" in new_prices
+
+    def test_noop_update_produces_nothing(self, db, path_graph):
+        an = create_an_graph(TriggerEvent.UPDATE, path_graph, "vendor", db)
+        result = db.update("vendor", lambda r: {"price": r["price"]}, fire_triggers=False)
+        rows = evaluate(an.top, EvaluationContext(db, _context(db, result, TriggerEvent.UPDATE)))
+        assert rows == []
+
+    def test_update_event_excludes_appearing_products(self, db, path_graph):
+        # A product crossing the >= 2 vendor threshold APPEARS (insert), so an
+        # UPDATE-event graph must not report it.
+        db.load_rows("product", [{"pid": "P4", "pname": "OLED 27", "mfr": "LG"}])
+        path_graph = catalog_view().path_graph("/product", db)
+        an = create_an_graph(TriggerEvent.UPDATE, path_graph, "vendor", db)
+        result = db.insert(
+            "vendor",
+            [
+                {"vid": "Amazon", "pid": "P4", "price": 1.0},
+                {"vid": "Bestbuy", "pid": "P4", "price": 2.0},
+            ],
+            fire_triggers=False,
+        )
+        rows = evaluate(an.top, EvaluationContext(db, _context(db, result, TriggerEvent.INSERT)))
+        assert rows == []
+
+    def test_mfr_update_is_invisible(self, db, path_graph):
+        an = create_an_graph(TriggerEvent.UPDATE, path_graph, "product", db)
+        result = db.update("product", {"mfr": "X"}, where=lambda r: r["pid"] == "P1",
+                           fire_triggers=False)
+        rows = evaluate(an.top, EvaluationContext(db, _context(db, result, TriggerEvent.UPDATE)))
+        assert rows == []
+
+
+class TestCreateANGraphInsertDelete:
+    def test_insert_event(self, db):
+        db.load_rows("product", [{"pid": "P4", "pname": "OLED 27", "mfr": "LG"}])
+        path_graph = catalog_view().path_graph("/product", db)
+        an = create_an_graph(TriggerEvent.INSERT, path_graph, "vendor", db)
+        result = db.insert(
+            "vendor",
+            [
+                {"vid": "Amazon", "pid": "P4", "price": 1.0},
+                {"vid": "Bestbuy", "pid": "P4", "price": 2.0},
+            ],
+            fire_triggers=False,
+        )
+        rows = evaluate(an.top, EvaluationContext(db, _context(db, result, TriggerEvent.INSERT)))
+        assert len(rows) == 1
+        assert rows[0][OLD_NODE] is None
+        assert rows[0][NEW_NODE].attribute("name") == "OLED 27"
+
+    def test_delete_event(self, db, path_graph):
+        an = create_an_graph(TriggerEvent.DELETE, path_graph, "vendor", db)
+        result = db.delete(
+            "vendor", where=lambda r: r["pid"] == "P2" and r["vid"] == "Buy.com",
+            fire_triggers=False,
+        )
+        rows = evaluate(an.top, EvaluationContext(db, _context(db, result, TriggerEvent.DELETE)))
+        assert len(rows) == 1
+        assert rows[0][NEW_NODE] is None
+        assert rows[0][OLD_NODE].attribute("name") == "LCD 19"
+        assert rows[0]["P.pname"] == "LCD 19"
+
+    def test_delete_event_not_triggered_by_plain_update(self, db, path_graph):
+        an = create_an_graph(TriggerEvent.DELETE, path_graph, "vendor", db)
+        result = db.update(
+            "vendor", {"price": 1.0},
+            where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1", fire_triggers=False,
+        )
+        rows = evaluate(an.top, EvaluationContext(db, _context(db, result, TriggerEvent.UPDATE)))
+        assert rows == []
+
+    def test_irrelevant_table_raises_at_compile_time(self, db, path_graph):
+        db.create_table(
+            __import__("repro.relational", fromlist=["TableSchema"]).TableSchema(
+                "unrelated",
+                [__import__("repro.relational", fromlist=["Column"]).Column(
+                    "id", __import__("repro.relational", fromlist=["DataType"]).DataType.INTEGER)],
+                primary_key=["id"],
+            )
+        )
+        with pytest.raises(TriggerCompilationError):
+            create_an_graph(TriggerEvent.UPDATE, path_graph, "unrelated", db)

@@ -1,0 +1,186 @@
+"""Unit tests for the trigger language parser and trigger grouping."""
+
+import pytest
+
+from repro.errors import TriggerSyntaxError
+from repro.relational import TriggerEvent
+from repro.core.language import parse_trigger
+from repro.core.grouping import group_triggers
+from repro.core.trigger import TriggerSpec
+
+
+PAPER_TRIGGER = """
+CREATE TRIGGER Notify AFTER Update
+ON view('catalog')/product
+WHERE OLD_NODE/@name = 'CRT 15'
+DO notifySmith(NEW_NODE)
+"""
+
+
+class TestParser:
+    def test_paper_example(self):
+        spec = parse_trigger(PAPER_TRIGGER)
+        assert spec.name == "Notify"
+        assert spec.event is TriggerEvent.UPDATE
+        assert spec.view == "catalog"
+        assert spec.path == ("product",)
+        assert spec.condition == "OLD_NODE/@name = 'CRT 15'"
+        assert spec.action_name == "notifySmith"
+        assert spec.action_args == ("NEW_NODE",)
+
+    def test_keywords_are_case_insensitive(self):
+        spec = parse_trigger(
+            "create trigger T after insert on view(\"v\")/a/b do f(NEW_NODE)"
+        )
+        assert spec.event is TriggerEvent.INSERT and spec.path == ("a", "b")
+
+    def test_where_clause_is_optional(self):
+        spec = parse_trigger("CREATE TRIGGER T AFTER DELETE ON view('v')/x DO f(OLD_NODE)")
+        assert spec.condition is None
+
+    def test_multiple_action_arguments(self):
+        spec = parse_trigger(
+            "CREATE TRIGGER T AFTER UPDATE ON view('v')/x "
+            "DO f(NEW_NODE/@name, count(NEW_NODE/y), 'label')"
+        )
+        assert len(spec.action_args) == 3
+        assert spec.action_args[1] == "count(NEW_NODE/y)"
+
+    def test_nested_condition_with_do_like_text_in_string(self):
+        spec = parse_trigger(
+            "CREATE TRIGGER T AFTER UPDATE ON view('v')/x "
+            "WHERE NEW_NODE/@name = 'do not fire' DO f(NEW_NODE)"
+        )
+        assert spec.condition == "NEW_NODE/@name = 'do not fire'"
+
+    def test_missing_do_clause_rejected(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger("CREATE TRIGGER T AFTER UPDATE ON view('v')/x WHERE 1 = 1")
+
+    def test_bad_event_rejected(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger("CREATE TRIGGER T AFTER UPSERT ON view('v')/x DO f(NEW_NODE)")
+
+    def test_missing_view_rejected(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger("CREATE TRIGGER T AFTER UPDATE ON /x DO f(NEW_NODE)")
+
+    def test_action_must_be_function_call(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger("CREATE TRIGGER T AFTER UPDATE ON view('v')/x DO notify")
+
+    def test_insert_trigger_may_not_reference_old_node(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger(
+                "CREATE TRIGGER T AFTER INSERT ON view('v')/x WHERE OLD_NODE/@a = 1 DO f(NEW_NODE)"
+            )
+
+    def test_delete_trigger_may_not_reference_new_node(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger(
+                "CREATE TRIGGER T AFTER DELETE ON view('v')/x DO f(NEW_NODE)"
+            )
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger("  ")
+
+    def test_str_roundtrip_mentions_all_parts(self):
+        spec = parse_trigger(PAPER_TRIGGER)
+        rendered = str(spec)
+        assert "Notify" in rendered and "view('catalog')/product" in rendered
+        assert "notifySmith" in rendered
+
+
+class TestTriggerSpecHelpers:
+    def test_structural_signature_ignores_constants(self):
+        a = parse_trigger(PAPER_TRIGGER)
+        b = parse_trigger(PAPER_TRIGGER.replace("CRT 15", "LCD 19").replace("Notify", "N2"))
+        assert a.structural_signature() == b.structural_signature()
+
+    def test_structural_signature_differs_across_events(self):
+        a = parse_trigger(PAPER_TRIGGER)
+        b = parse_trigger(PAPER_TRIGGER.replace("Update", "Delete").replace("NEW_NODE", "OLD_NODE"))
+        assert a.structural_signature() != b.structural_signature()
+
+    def test_condition_constants(self):
+        spec = parse_trigger(PAPER_TRIGGER)
+        assert spec.condition_constants() == ("CRT 15",)
+
+    def test_references_old_node_content(self):
+        attr_only = parse_trigger(PAPER_TRIGGER)
+        assert attr_only.references_old_node()
+        assert not attr_only.references_old_node_content()
+        deep = parse_trigger(
+            "CREATE TRIGGER T AFTER UPDATE ON view('v')/x "
+            "WHERE count(OLD_NODE/vendor) > 2 DO f(NEW_NODE)"
+        )
+        assert deep.references_old_node_content()
+
+
+class TestGrouping:
+    def _specs(self, constants):
+        return [
+            parse_trigger(
+                f"CREATE TRIGGER t{i} AFTER UPDATE ON view('catalog')/product "
+                f"WHERE OLD_NODE/@name = '{constant}' DO notify(NEW_NODE)"
+            )
+            for i, constant in enumerate(constants)
+        ]
+
+    def test_structurally_similar_triggers_form_one_group(self):
+        groups = group_triggers(self._specs(["a", "b", "c"]))
+        assert len(groups) == 1 and groups[0].size == 3
+
+    def test_different_paths_are_separate_groups(self):
+        specs = self._specs(["a"]) + [
+            parse_trigger(
+                "CREATE TRIGGER other AFTER UPDATE ON view('catalog')/product/vendor "
+                "WHERE OLD_NODE/price > 10 DO notify(NEW_NODE)"
+            )
+        ]
+        assert len(group_triggers(specs)) == 2
+
+    def test_constants_table_shares_rows(self):
+        groups = group_triggers(self._specs(["CRT 15", "CRT 15", "LCD 19"]))
+        rows = groups[0].constants_table()
+        assert len(rows) == 2
+        by_constant = {row.condition_constants: row.trigger_names for row in rows}
+        assert by_constant[("CRT 15",)] == ("t0", "t1")
+        assert by_constant[("LCD 19",)] == ("t2",)
+
+    def test_constants_row_mapping_shape(self):
+        groups = group_triggers(self._specs(["CRT 15"]))
+        mapping = groups[0].constants_table()[0].as_mapping()
+        assert mapping["TrigIDs"] == "t0" and mapping["Const1"] == "CRT 15"
+
+    def test_parameterized_condition_evaluates_per_row(self):
+        from repro.xmlmodel import element
+
+        groups = group_triggers(self._specs(["CRT 15", "LCD 19"]))
+        condition = groups[0].parameterized_condition()
+        node = element("product", {"name": "LCD 19"})
+        rows = groups[0].constants_table()
+        matches = [
+            row.trigger_names
+            for row in rows
+            if condition.as_boolean({"OLD_NODE": node}, parameters=row.condition_constants)
+        ]
+        assert matches == [("t1",)]
+
+    def test_remove_member(self):
+        groups = group_triggers(self._specs(["a", "b"]))
+        group = groups[0]
+        assert group.remove("t0") and group.size == 1
+        assert not group.remove("t0")
+
+    def test_group_without_condition(self):
+        specs = [
+            parse_trigger(
+                f"CREATE TRIGGER t{i} AFTER UPDATE ON view('catalog')/product DO notify(NEW_NODE)"
+            )
+            for i in range(2)
+        ]
+        groups = group_triggers(specs)
+        assert groups[0].parameterized_condition() is None
+        assert len(groups[0].constants_table()) == 1

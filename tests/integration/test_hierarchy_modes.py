@@ -1,0 +1,84 @@
+"""Integration tests on the generated hierarchy workload across execution modes."""
+
+import pytest
+
+from repro.core.service import ExecutionMode
+from repro.workloads import ExperimentHarness, HierarchyWorkload, WorkloadParameters
+
+PARAMS = WorkloadParameters(
+    leaf_tuples=256, fanout=16, num_triggers=12, satisfied_triggers=3, seed=11
+)
+
+MODES = [ExecutionMode.UNGROUPED, ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG]
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("depth", [2, 3])
+def test_update_workload_fires_exactly_satisfied_triggers(mode, depth):
+    params = PARAMS.with_(depth=depth)
+    harness = ExperimentHarness(params, updates=2)
+    setup = harness.build_setup(params, mode)
+    statements = setup.workload.update_statements(2, setup.database)
+    for statement in statements:
+        setup.run_statement(statement)
+    fired = setup.service.fired
+    assert len(fired) == 2 * params.effective_satisfied
+    # Every firing is for the target top element.
+    target_name = setup.workload.target_top_name
+    assert all(f.new_node.attribute("name") == target_name for f in fired)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_updates_outside_target_do_not_fire(mode):
+    harness = ExperimentHarness(PARAMS, updates=1)
+    setup = harness.build_setup(PARAMS, mode)
+    workload = setup.workload
+    db = setup.database
+    target_leaves = set(workload.leaf_ids_under_target(db))
+    other_leaf = next(
+        row[0] for row in db.table("leaf") if row[0] not in target_leaves
+    )
+    from repro.relational.dml import UpdateStatement
+
+    setup.run_statement(UpdateStatement("leaf", {"price": 1.0}, keys=[(other_leaf,)]))
+    assert setup.service.fired == []
+
+
+@pytest.mark.parametrize("mode", [ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG])
+def test_leaf_insert_and_delete_fire_update_triggers(mode):
+    harness = ExperimentHarness(PARAMS, updates=1)
+    setup = harness.build_setup(PARAMS, mode)
+    workload, db = setup.workload, setup.database
+    inserts = workload.insert_statements(1, db)
+    setup.run_statement(inserts[0])
+    assert len(setup.service.fired) == PARAMS.effective_satisfied
+    setup.service.clear_logs()
+    deletes = workload.delete_statements(1, db)
+    setup.run_statement(deletes[0])
+    assert len(setup.service.fired) == PARAMS.effective_satisfied
+
+
+def test_grouped_and_agg_modes_produce_identical_new_nodes():
+    from repro.xmlmodel import serialize
+
+    harness = ExperimentHarness(PARAMS, updates=2)
+    grouped = harness.build_setup(PARAMS, ExecutionMode.GROUPED)
+    agg = harness.build_setup(PARAMS, ExecutionMode.GROUPED_AGG)
+    statements = grouped.workload.update_statements(2, grouped.database)
+    statements_agg = agg.workload.update_statements(2, agg.database)
+    for a, b in zip(statements, statements_agg):
+        grouped.run_statement(a)
+        agg.run_statement(b)
+    nodes_grouped = sorted(serialize(f.new_node) for f in grouped.service.fired)
+    nodes_agg = sorted(serialize(f.new_node) for f in agg.service.fired)
+    assert nodes_grouped == nodes_agg
+
+
+def test_sql_trigger_count_is_independent_of_xml_trigger_count_when_grouped():
+    params = PARAMS.with_(num_triggers=30, satisfied_triggers=3)
+    harness = ExperimentHarness(params, updates=1)
+    grouped = harness.build_setup(params, ExecutionMode.GROUPED)
+    ungrouped = harness.build_setup(params, ExecutionMode.UNGROUPED)
+    assert len(grouped.database.triggers()) < len(ungrouped.database.triggers())
+    assert grouped.service.group_count() == 1
+    assert ungrouped.service.group_count() == 30

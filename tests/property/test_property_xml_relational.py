@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the XML model and relational engine."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Column, DataType, Database, TableSchema
+from repro.xmlmodel import Element, Fragment, Text, parse_xml, serialize
+from repro.xmlmodel.xpath import XPath
+
+# ---------------------------------------------------------------------------
+# XML serialization round-trips
+# ---------------------------------------------------------------------------
+
+_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+_texts = st.text(
+    alphabet=string.ascii_letters + string.digits + " &<>\"'.,-_", min_size=0, max_size=20
+)
+
+
+def _elements(depth: int = 3):
+    if depth == 0:
+        # An empty text node serializes to nothing, so it cannot survive a
+        # parse round-trip; only attach text children with actual content.
+        return st.builds(
+            lambda n, t: Element(n, None, [Text(t)] if t else []), _names, _texts
+        )
+    children = st.lists(_elements(depth - 1), min_size=0, max_size=3)
+    attributes = st.dictionaries(_names, _texts, max_size=3)
+    return st.builds(lambda n, a, c: Element(n, a, c), _names, attributes, children)
+
+
+class TestXmlProperties:
+    @given(_elements())
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_parse_roundtrip(self, element):
+        # Whitespace-free content round-trips exactly through the parser.
+        parsed = parse_xml(serialize(element))
+        assert serialize(parsed) == serialize(element)
+
+    @given(_elements())
+    @settings(max_examples=60, deadline=None)
+    def test_equality_matches_serialization(self, element):
+        copy = element.copy()
+        assert copy == element
+        assert serialize(copy) == serialize(element)
+
+    @given(st.lists(_elements(1), min_size=0, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_fragment_count_matches_xpath_count(self, items):
+        fragment = Fragment(items)
+        parent = Element("root", None, [fragment])
+        count = XPath("count(R/*)").evaluate({"R": parent})
+        assert count == len(parent.children)
+
+
+# ---------------------------------------------------------------------------
+# Relational transition-table invariants (Definition 5 / Definition 8)
+# ---------------------------------------------------------------------------
+
+
+def _fresh_db() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "items",
+            [
+                Column("id", DataType.INTEGER, nullable=False),
+                Column("grp", DataType.INTEGER, nullable=False),
+                Column("price", DataType.REAL, nullable=False),
+            ],
+            primary_key=["id"],
+        )
+    )
+    return db
+
+
+_rows = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 5), st.integers(1, 100)),
+    min_size=0,
+    max_size=25,
+    unique_by=lambda t: t[0],
+)
+
+
+class TestTransitionTableProperties:
+    @given(_rows, st.integers(0, 5), st.integers(-50, 50))
+    @settings(max_examples=80, deadline=None)
+    def test_update_transition_tables_are_valid(self, rows, target_group, delta):
+        """After any UPDATE: Δ/∇ have equal cardinality, and B_old == B before."""
+        db = _fresh_db()
+        db.load_rows("items", [{"id": i, "grp": g, "price": float(p)} for i, g, p in rows])
+        before = {row[0]: row for row in db.table("items").rows()}
+
+        captured = {}
+        from repro.relational import StatementTrigger, TriggerEvent
+
+        def body(ctx):
+            captured["inserted"] = list(ctx.inserted.rows)
+            captured["deleted"] = list(ctx.deleted.rows)
+            captured["old"] = list(ctx.old_table_rows())
+            captured["pruned_ins"] = list(ctx.pruned_inserted().rows)
+            captured["pruned_del"] = list(ctx.pruned_deleted().rows)
+
+        db.register_trigger(StatementTrigger("t", "items", {TriggerEvent.UPDATE}, body))
+        result = db.update(
+            "items",
+            lambda row: {"price": row["price"] + delta},
+            where=lambda row: row["grp"] == target_group,
+        )
+
+        if result.rowcount == 0:
+            assert captured == {}
+            return
+
+        inserted = captured["inserted"]
+        deleted = captured["deleted"]
+        # Same cardinality, keyed identically (Definition 5).
+        assert len(inserted) == len(deleted) == result.rowcount
+        assert {r[0] for r in inserted} == {r[0] for r in deleted}
+        # Reconstructed B_old equals the snapshot taken before the update.
+        assert sorted(captured["old"]) == sorted(before.values())
+        # Pruned tables are empty exactly when the update was a no-op (delta == 0).
+        if delta == 0:
+            assert captured["pruned_ins"] == [] and captured["pruned_del"] == []
+        else:
+            assert len(captured["pruned_ins"]) == result.rowcount
+
+    @given(_rows, st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_delete_then_state_matches_transition(self, rows, doomed_id):
+        db = _fresh_db()
+        db.load_rows("items", [{"id": i, "grp": g, "price": float(p)} for i, g, p in rows])
+        before = len(db.table("items"))
+        result = db.delete("items", where=lambda row: row["id"] == doomed_id)
+        assert len(db.table("items")) == before - result.rowcount
+        assert len(result.inserted) == 0
+        for row in result.deleted:
+            assert db.table("items").get((row[0],)) is None

@@ -1,0 +1,251 @@
+"""Unit tests for DML execution, transition tables, and statement triggers."""
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError, UnknownTableError
+from repro.relational import (
+    Column,
+    DataType,
+    Database,
+    DeleteStatement,
+    ForeignKey,
+    InsertStatement,
+    StatementTrigger,
+    TableSchema,
+    TriggerEvent,
+    UpdateStatement,
+)
+
+from tests.conftest import build_paper_database
+
+
+class TestCatalog:
+    def test_create_and_drop_table(self):
+        db = Database()
+        db.create_table(TableSchema("t", [Column("id", DataType.INTEGER)], primary_key=["id"]))
+        assert db.has_table("t")
+        db.drop_table("t")
+        assert not db.has_table("t")
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        schema = TableSchema("t", [Column("id", DataType.INTEGER)], primary_key=["id"])
+        db.create_table(schema)
+        with pytest.raises(SchemaError):
+            db.create_table(schema)
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(UnknownTableError):
+            Database().table("missing")
+
+    def test_foreign_key_must_reference_existing_table(self):
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.create_table(
+                TableSchema(
+                    "child",
+                    [Column("id", DataType.INTEGER), Column("pid", DataType.INTEGER)],
+                    primary_key=["id"],
+                    foreign_keys=[ForeignKey(("pid",), "parent", ("id",))],
+                )
+            )
+
+
+class TestDml:
+    def test_insert_statement_transition_tables(self):
+        db = build_paper_database()
+        result = db.insert("vendor", {"vid": "Newegg", "pid": "P1", "price": 99.0})
+        assert result.event == "INSERT"
+        assert len(result.inserted) == 1 and len(result.deleted) == 0
+        assert db.row_count("vendor") == 8
+
+    def test_multi_row_insert_is_one_statement(self):
+        db = build_paper_database()
+        result = db.insert(
+            "vendor",
+            [
+                {"vid": "A1", "pid": "P1", "price": 1.0},
+                {"vid": "A2", "pid": "P1", "price": 2.0},
+            ],
+        )
+        assert result.rowcount == 2 and len(result.inserted) == 2
+
+    def test_update_statement_old_and_new_rows(self):
+        db = build_paper_database()
+        result = db.update(
+            "vendor", {"price": 75.0}, where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1"
+        )
+        assert result.event == "UPDATE"
+        assert len(result.inserted) == 1 and len(result.deleted) == 1
+        old = result.deleted.mappings()[0]
+        new = result.inserted.mappings()[0]
+        assert old["price"] == 100.0 and new["price"] == 75.0
+
+    def test_delete_statement(self):
+        db = build_paper_database()
+        result = db.delete("vendor", where=lambda r: r["pid"] == "P2")
+        assert result.event == "DELETE" and result.rowcount == 2
+        assert db.row_count("vendor") == 5
+
+    def test_keyed_update_fast_path(self):
+        db = build_paper_database()
+        result = db.execute(
+            UpdateStatement("product", {"mfr": "X"}, keys=[("P2",)])
+        )
+        assert result.rowcount == 1
+        assert db.table("product").get(("P2",))[2] == "X"
+
+    def test_keyed_delete_fast_path(self):
+        db = build_paper_database()
+        result = db.execute(DeleteStatement("vendor", keys=[("Amazon", "P1")]))
+        assert result.rowcount == 1
+
+    def test_insert_duplicate_key_rolls_back_whole_statement(self):
+        db = build_paper_database()
+        with pytest.raises(IntegrityError):
+            db.insert(
+                "product",
+                [
+                    {"pid": "P9", "pname": "New", "mfr": "x"},
+                    {"pid": "P1", "pname": "Dup", "mfr": "x"},
+                ],
+            )
+        assert db.row_count("product") == 3
+        assert db.table("product").get(("P9",)) is None
+
+    def test_foreign_key_enforced_on_insert(self):
+        db = build_paper_database()
+        with pytest.raises(IntegrityError):
+            db.insert("vendor", {"vid": "X", "pid": "NOPE", "price": 1.0})
+
+    def test_foreign_key_can_be_disabled(self):
+        db = build_paper_database()
+        db.enforce_foreign_keys = False
+        db.insert("vendor", {"vid": "X", "pid": "NOPE", "price": 1.0})
+        assert db.row_count("vendor") == 8
+
+    def test_statement_log(self):
+        db = build_paper_database()
+        db.update("vendor", {"price": 1.0}, where=lambda r: r["vid"] == "Amazon")
+        db.delete("vendor", where=lambda r: False)
+        assert len(db.statement_log) == 2
+
+    def test_load_rows_bypasses_triggers(self):
+        db = build_paper_database()
+        calls = []
+        db.register_trigger(
+            StatementTrigger("t", "vendor", {TriggerEvent.INSERT}, lambda ctx: calls.append(1))
+        )
+        db.load_rows("vendor", [{"vid": "Z", "pid": "P1", "price": 3.0}])
+        assert calls == []
+
+
+class TestStatementTriggers:
+    def test_trigger_fires_once_per_statement(self):
+        db = build_paper_database()
+        calls = []
+        db.register_trigger(
+            StatementTrigger(
+                "t", "vendor", {TriggerEvent.UPDATE}, lambda ctx: calls.append(len(ctx.inserted))
+            )
+        )
+        db.update("vendor", {"price": 0.5}, where=lambda r: r["pid"] == "P1")
+        assert calls == [3]  # three vendor rows updated, one firing
+
+    def test_trigger_not_fired_for_other_events(self):
+        db = build_paper_database()
+        calls = []
+        db.register_trigger(
+            StatementTrigger("t", "vendor", {TriggerEvent.DELETE}, lambda ctx: calls.append(1))
+        )
+        db.insert("vendor", {"vid": "Q", "pid": "P1", "price": 9.0})
+        assert calls == []
+
+    def test_trigger_not_fired_when_no_rows_affected(self):
+        db = build_paper_database()
+        calls = []
+        db.register_trigger(
+            StatementTrigger("t", "vendor", {TriggerEvent.UPDATE}, lambda ctx: calls.append(1))
+        )
+        db.update("vendor", {"price": 0.0}, where=lambda r: False)
+        assert calls == []
+
+    def test_trigger_receives_old_and_new_tables(self):
+        db = build_paper_database()
+        seen = {}
+
+        def body(ctx):
+            seen["old"] = ctx.deleted.mappings()[0]["price"]
+            seen["new"] = ctx.inserted.mappings()[0]["price"]
+
+        db.register_trigger(StatementTrigger("t", "vendor", {TriggerEvent.UPDATE}, body))
+        db.update("vendor", {"price": 75.0}, where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1")
+        assert seen == {"old": 100.0, "new": 75.0}
+
+    def test_pruned_transition_tables_drop_noop_updates(self):
+        db = build_paper_database()
+        seen = {}
+
+        def body(ctx):
+            seen["raw"] = (len(ctx.inserted), len(ctx.deleted))
+            seen["pruned"] = (len(ctx.pruned_inserted()), len(ctx.pruned_deleted()))
+
+        db.register_trigger(StatementTrigger("t", "vendor", {TriggerEvent.UPDATE}, body))
+        # price = 1 * price (Appendix F.1): every row matches, none changes.
+        db.update("vendor", lambda row: {"price": row["price"] * 1})
+        assert seen["raw"] == (7, 7)
+        assert seen["pruned"] == (0, 0)
+
+    def test_old_table_reconstruction(self):
+        db = build_paper_database()
+        captured = {}
+
+        def body(ctx):
+            old_rows = ctx.old_table().mappings()
+            captured["old_price"] = {
+                (r["vid"], r["pid"]): r["price"] for r in old_rows
+            }[("Amazon", "P1")]
+            captured["count"] = len(old_rows)
+
+        db.register_trigger(StatementTrigger("t", "vendor", {TriggerEvent.UPDATE}, body))
+        db.update("vendor", {"price": 75.0}, where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1")
+        assert captured["old_price"] == 100.0
+        assert captured["count"] == 7  # B_old has the same cardinality for updates
+
+    def test_multiple_triggers_fire_in_registration_order(self):
+        db = build_paper_database()
+        order = []
+        db.register_trigger(
+            StatementTrigger("a", "vendor", {TriggerEvent.UPDATE}, lambda ctx: order.append("a"))
+        )
+        db.register_trigger(
+            StatementTrigger("b", "vendor", {TriggerEvent.UPDATE}, lambda ctx: order.append("b"))
+        )
+        db.update("vendor", {"price": 2.0}, where=lambda r: r["vid"] == "Amazon")
+        assert order == ["a", "b"]
+
+    def test_disabled_trigger_does_not_fire(self):
+        db = build_paper_database()
+        calls = []
+        trigger = StatementTrigger(
+            "t", "vendor", {TriggerEvent.UPDATE}, lambda ctx: calls.append(1), enabled=False
+        )
+        db.register_trigger(trigger)
+        db.update("vendor", {"price": 2.0}, where=lambda r: r["vid"] == "Amazon")
+        assert calls == []
+
+    def test_drop_trigger(self):
+        db = build_paper_database()
+        db.register_trigger(
+            StatementTrigger("t", "vendor", {TriggerEvent.UPDATE}, lambda ctx: None)
+        )
+        db.drop_trigger("t")
+        assert db.triggers() == []
+
+    def test_fired_trigger_names_recorded_on_result(self):
+        db = build_paper_database()
+        db.register_trigger(
+            StatementTrigger("t", "vendor", {TriggerEvent.UPDATE}, lambda ctx: None)
+        )
+        result = db.update("vendor", {"price": 2.0}, where=lambda r: r["vid"] == "Amazon")
+        assert result.fired_sql_triggers == ["t"]

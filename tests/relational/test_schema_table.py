@@ -1,0 +1,192 @@
+"""Unit tests for table schemas, storage, indexes, and constraints."""
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError, UnknownColumnError
+from repro.relational import Column, DataType, TableSchema, UniqueConstraint
+from repro.relational.table import Table, TransitionTable
+
+
+def product_schema() -> TableSchema:
+    return TableSchema(
+        "product",
+        [
+            Column("pid", DataType.TEXT, nullable=False),
+            Column("pname", DataType.TEXT, nullable=False),
+            Column("mfr", DataType.TEXT),
+        ],
+        primary_key=["pid"],
+    )
+
+
+class TestTableSchema:
+    def test_columns_and_indexing(self):
+        schema = product_schema()
+        assert schema.column_names == ("pid", "pname", "mfr")
+        assert schema.column_index("mfr") == 2
+        assert schema.has_column("pid") and not schema.has_column("nope")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            product_schema().column("missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.TEXT), Column("a", DataType.TEXT)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.TEXT)], primary_key=["b"])
+
+    def test_row_from_mapping_defaults_to_null(self):
+        schema = product_schema()
+        row = schema.row_from_mapping({"pid": "P1", "pname": "CRT"})
+        assert row == ("P1", "CRT", None)
+
+    def test_row_from_mapping_rejects_unknown(self):
+        with pytest.raises(UnknownColumnError):
+            product_schema().row_from_mapping({"pid": "P1", "pname": "x", "bogus": 1})
+
+    def test_row_from_values_arity_checked(self):
+        with pytest.raises(SchemaError):
+            product_schema().row_from_values(("P1", "x"))
+
+    def test_not_null_enforced(self):
+        with pytest.raises(SchemaError):
+            product_schema().row_from_mapping({"pid": None, "pname": "x"})
+
+    def test_key_of_and_project(self):
+        schema = product_schema()
+        row = schema.row_from_mapping({"pid": "P9", "pname": "X", "mfr": "Y"})
+        assert schema.key_of(row) == ("P9",)
+        assert schema.project(row, ["mfr", "pid"]) == ("Y", "P9")
+
+    def test_roundtrip_mapping(self):
+        schema = product_schema()
+        mapping = {"pid": "P1", "pname": "CRT", "mfr": None}
+        assert schema.row_to_mapping(schema.row_from_mapping(mapping)) == mapping
+
+
+class TestTableStorage:
+    def test_insert_and_get(self):
+        table = Table(product_schema())
+        table.insert_row({"pid": "P1", "pname": "CRT", "mfr": "S"})
+        assert len(table) == 1
+        assert table.get(("P1",))[1] == "CRT"
+
+    def test_duplicate_primary_key_rejected(self):
+        table = Table(product_schema())
+        table.insert_row({"pid": "P1", "pname": "CRT"})
+        with pytest.raises(IntegrityError):
+            table.insert_row({"pid": "P1", "pname": "Other"})
+
+    def test_null_primary_key_rejected(self):
+        schema = TableSchema("t", [Column("id", DataType.INTEGER)], primary_key=["id"])
+        table = Table(schema)
+        with pytest.raises(IntegrityError):
+            table.insert_row({"id": None})
+
+    def test_unique_constraint(self):
+        schema = TableSchema(
+            "t",
+            [Column("id", DataType.INTEGER), Column("code", DataType.TEXT)],
+            primary_key=["id"],
+            unique=[UniqueConstraint(("code",))],
+        )
+        table = Table(schema)
+        table.insert_row({"id": 1, "code": "A"})
+        with pytest.raises(IntegrityError):
+            table.insert_row({"id": 2, "code": "A"})
+        # NULLs are exempt from uniqueness.
+        table.insert_row({"id": 3, "code": None})
+        table.insert_row({"id": 4, "code": None})
+
+    def test_index_lookup(self):
+        table = Table(product_schema())
+        for i in range(20):
+            table.insert_row({"pid": f"P{i}", "pname": f"N{i % 3}", "mfr": "m"})
+        table.create_index("by_name", ["pname"])
+        assert table.has_index_on(["pname"])
+        assert len(table.lookup(["pname"], ("N1",))) == 7
+
+    def test_lookup_without_index_scans(self):
+        table = Table(product_schema())
+        table.insert_row({"pid": "P1", "pname": "CRT", "mfr": "m"})
+        assert len(table.lookup(["mfr"], ("m",))) == 1
+
+    def test_index_maintained_on_delete_and_update(self):
+        table = Table(product_schema())
+        table.create_index("by_name", ["pname"])
+        table.insert_row({"pid": "P1", "pname": "CRT", "mfr": "m"})
+        table.insert_row({"pid": "P2", "pname": "CRT", "mfr": "m"})
+        table.delete_key(("P1",))
+        assert {r[0] for r in table.lookup(["pname"], ("CRT",))} == {"P2"}
+        table.update_where(lambda row: row["pid"] == "P2", lambda row: {"pname": "LCD"})
+        assert table.lookup(["pname"], ("CRT",)) == []
+        assert len(table.lookup(["pname"], ("LCD",))) == 1
+
+    def test_update_where_returns_old_new_pairs(self):
+        table = Table(product_schema())
+        table.insert_row({"pid": "P1", "pname": "CRT", "mfr": "m"})
+        changes = table.update_where(lambda row: True, lambda row: {"mfr": "x"})
+        assert len(changes) == 1
+        old, new = changes[0]
+        assert old[2] == "m" and new[2] == "x"
+
+    def test_update_with_candidate_keys_only_touches_those(self):
+        table = Table(product_schema())
+        for i in range(5):
+            table.insert_row({"pid": f"P{i}", "pname": "N", "mfr": "m"})
+        changes = table.update_where(
+            lambda row: True, lambda row: {"mfr": "z"}, candidate_keys=[("P2",)]
+        )
+        assert len(changes) == 1
+        assert table.get(("P2",))[2] == "z"
+        assert table.get(("P1",))[2] == "m"
+
+    def test_update_swapping_primary_keys_in_one_statement(self):
+        table = Table(product_schema())
+        table.insert_row({"pid": "P1", "pname": "a", "mfr": "m"})
+        table.insert_row({"pid": "P2", "pname": "b", "mfr": "m"})
+        # Swap the two primary keys; must not raise a false duplicate error.
+        table.update_where(
+            lambda row: True,
+            lambda row: {"pid": "P2" if row["pid"] == "P1" else "P1"},
+        )
+        assert table.get(("P1",))[1] == "b"
+        assert table.get(("P2",))[1] == "a"
+
+    def test_update_duplicate_key_rolls_back(self):
+        table = Table(product_schema())
+        table.insert_row({"pid": "P1", "pname": "a", "mfr": "m"})
+        table.insert_row({"pid": "P2", "pname": "b", "mfr": "m"})
+        with pytest.raises(IntegrityError):
+            table.update_where(lambda row: True, lambda row: {"pid": "P9"})
+        assert {row[0] for row in table} == {"P1", "P2"}
+
+    def test_delete_where(self):
+        table = Table(product_schema())
+        for i in range(4):
+            table.insert_row({"pid": f"P{i}", "pname": f"N{i}", "mfr": "m"})
+        deleted = table.delete_where(lambda row: row["pid"] in ("P1", "P3"))
+        assert len(deleted) == 2 and len(table) == 2
+
+    def test_scan_with_predicate(self):
+        table = Table(product_schema())
+        table.insert_row({"pid": "P1", "pname": "CRT", "mfr": "m"})
+        table.insert_row({"pid": "P2", "pname": "LCD", "mfr": "m"})
+        assert len(table.scan(lambda row: row["pname"] == "LCD")) == 1
+        assert len(table.scan()) == 2
+
+
+class TestTransitionTable:
+    def test_basicaccessors(self):
+        schema = product_schema()
+        rows = [schema.row_from_mapping({"pid": "P1", "pname": "a"})]
+        transition = TransitionTable(schema, rows)
+        assert len(transition) == 1 and bool(transition)
+        assert transition.keys() == {("P1",)}
+        assert transition.mappings()[0]["pname"] == "a"
+
+    def test_empty_transition_table_is_falsy(self):
+        assert not TransitionTable(product_schema(), [])

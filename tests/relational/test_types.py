@@ -1,0 +1,146 @@
+"""Unit tests for SQL value semantics (types, NULLs, comparisons)."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import (
+    DataType,
+    coerce_value,
+    compare_values,
+    is_truthy,
+    sql_and,
+    sql_eq,
+    sql_ge,
+    sql_gt,
+    sql_le,
+    sql_lt,
+    sql_ne,
+    sql_not,
+    sql_or,
+    sort_key,
+    type_of_value,
+    values_equal,
+)
+
+
+class TestCoercion:
+    def test_integer_accepts_int(self):
+        assert coerce_value(7, DataType.INTEGER) == 7
+
+    def test_integer_accepts_integral_float(self):
+        assert coerce_value(7.0, DataType.INTEGER) == 7
+
+    def test_integer_accepts_numeric_string(self):
+        assert coerce_value("42", DataType.INTEGER) == 42
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(7.5, DataType.INTEGER)
+
+    def test_integer_rejects_non_numeric_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("abc", DataType.INTEGER)
+
+    def test_real_widens_int(self):
+        value = coerce_value(3, DataType.REAL)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_real_parses_string(self):
+        assert coerce_value("2.5", DataType.REAL) == 2.5
+
+    def test_text_passthrough(self):
+        assert coerce_value("hello", DataType.TEXT) == "hello"
+
+    def test_text_from_number(self):
+        assert coerce_value(5, DataType.TEXT) == "5"
+
+    def test_boolean_from_strings(self):
+        assert coerce_value("true", DataType.BOOLEAN) is True
+        assert coerce_value("0", DataType.BOOLEAN) is False
+
+    def test_boolean_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("maybe", DataType.BOOLEAN)
+
+    def test_null_passes_through_every_type(self):
+        for dtype in DataType:
+            assert coerce_value(None, dtype) is None
+
+    def test_type_of_value(self):
+        assert type_of_value(1) is DataType.INTEGER
+        assert type_of_value(1.5) is DataType.REAL
+        assert type_of_value("x") is DataType.TEXT
+        assert type_of_value(True) is DataType.BOOLEAN
+        assert type_of_value(None) is None
+
+    def test_type_of_value_rejects_unsupported(self):
+        with pytest.raises(TypeMismatchError):
+            type_of_value(object())
+
+
+class TestThreeValuedLogic:
+    def test_eq_with_nulls_is_unknown(self):
+        assert sql_eq(None, 1) is None
+        assert sql_eq(1, None) is None
+
+    def test_eq_values(self):
+        assert sql_eq(1, 1.0) is True
+        assert sql_eq("a", "b") is False
+
+    def test_ne(self):
+        assert sql_ne(1, 2) is True
+        assert sql_ne(None, 2) is None
+
+    def test_ordering_operators(self):
+        assert sql_lt(1, 2) is True
+        assert sql_le(2, 2) is True
+        assert sql_gt(3, 2) is True
+        assert sql_ge(1, 2) is False
+
+    def test_ordering_with_null(self):
+        assert sql_lt(None, 2) is None
+        assert sql_ge(2, None) is None
+
+    def test_and_truth_table(self):
+        assert sql_and(True, True) is True
+        assert sql_and(True, False) is False
+        assert sql_and(False, None) is False
+        assert sql_and(True, None) is None
+
+    def test_or_truth_table(self):
+        assert sql_or(False, False) is False
+        assert sql_or(False, True) is True
+        assert sql_or(True, None) is True
+        assert sql_or(False, None) is None
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+    def test_where_semantics(self):
+        assert is_truthy(True) is True
+        assert is_truthy(False) is False
+        assert is_truthy(None) is False
+
+
+class TestOrderingHelpers:
+    def test_nulls_sort_first(self):
+        assert compare_values(None, 0) == -1
+        assert compare_values(0, None) == 1
+
+    def test_numbers_before_strings(self):
+        assert compare_values(5, "5") == -1
+
+    def test_equal_values(self):
+        assert compare_values(2, 2.0) == 0
+
+    def test_sort_key_is_total(self):
+        values = ["b", None, 3, 1.5, True, "a"]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None
+
+    def test_values_equal_null_semantics(self):
+        assert values_equal(None, None) is True
+        assert values_equal(None, 1) is False
+        assert values_equal(2, 2.0) is True

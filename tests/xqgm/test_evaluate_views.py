@@ -1,0 +1,264 @@
+"""Unit tests for XQGM evaluation and the hierarchical view builder."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.relational import TriggerEvent
+from repro.relational.triggers import TriggerContext
+from repro.xmlmodel import serialize
+from repro.xqgm import (
+    AggregateSpec,
+    ColumnRef,
+    Comparison,
+    Constant,
+    EvaluationContext,
+    GroupByOp,
+    JoinKind,
+    JoinOp,
+    ProjectOp,
+    SelectOp,
+    TableOp,
+    TableVariant,
+    UnionOp,
+    UnnestOp,
+    evaluate,
+)
+from repro.xqgm.operators import ConstantsOp
+from repro.xqgm.views import ViewElementSpec, ViewDefinition, catalog_view
+
+from tests.conftest import build_paper_database
+
+
+@pytest.fixture
+def db():
+    return build_paper_database()
+
+
+def vendor_table(db):
+    return TableOp("vendor", "V", db.schema("vendor").column_names)
+
+
+def product_table(db):
+    return TableOp("product", "P", db.schema("product").column_names)
+
+
+class TestOperatorEvaluation:
+    def test_table_scan(self, db):
+        rows = evaluate(vendor_table(db), EvaluationContext(db))
+        assert len(rows) == 7 and "V.price" in rows[0]
+
+    def test_select(self, db):
+        op = SelectOp(vendor_table(db), Comparison("=", ColumnRef("V.pid"), Constant("P1")))
+        assert len(evaluate(op, EvaluationContext(db))) == 3
+
+    def test_project(self, db):
+        op = ProjectOp(vendor_table(db), [("double", ColumnRef("V.price"))])
+        rows = evaluate(op, EvaluationContext(db))
+        assert set(rows[0]) == {"double"}
+
+    def test_hash_join(self, db):
+        join = JoinOp([product_table(db), vendor_table(db)], equi_pairs=[("V.pid", "P.pid")])
+        rows = evaluate(join, EvaluationContext(db))
+        assert len(rows) == 7
+        assert all(row["V.pid"] == row["P.pid"] for row in rows)
+
+    def test_index_probe_join_counts_probes(self, db):
+        small = SelectOp(vendor_table(db), Comparison("=", ColumnRef("V.vid"), Constant("Amazon")))
+        join = JoinOp([small, product_table(db)], equi_pairs=[("V.pid", "P.pid")])
+        ctx = EvaluationContext(db, collect_stats=True)
+        rows = evaluate(join, ctx)
+        assert len(rows) == 1
+        assert ctx.stats.get("index_probes", 0) >= 1
+
+    def test_left_outer_join(self, db):
+        db.load_rows("product", [{"pid": "P9", "pname": "Lonely", "mfr": None}])
+        join = JoinOp(
+            [product_table(db), vendor_table(db)],
+            equi_pairs=[("V.pid", "P.pid")],
+            kind=JoinKind.LEFT_OUTER,
+        )
+        rows = evaluate(join, EvaluationContext(db))
+        lonely = [r for r in rows if r["P.pid"] == "P9"]
+        assert len(lonely) == 1 and lonely[0]["V.vid"] is None
+
+    def test_anti_join(self, db):
+        db.load_rows("product", [{"pid": "P9", "pname": "Lonely", "mfr": None}])
+        join = JoinOp(
+            [product_table(db), vendor_table(db)],
+            equi_pairs=[("V.pid", "P.pid")],
+            kind=JoinKind.ANTI,
+        )
+        rows = evaluate(join, EvaluationContext(db))
+        assert [r["P.pid"] for r in rows] == ["P9"]
+
+    def test_groupby_counts(self, db):
+        group = GroupByOp(
+            vendor_table(db), ["V.pid"], [AggregateSpec("n", "count", ColumnRef("V.vid"))]
+        )
+        rows = {row["V.pid"]: row["n"] for row in evaluate(group, EvaluationContext(db))}
+        assert rows == {"P1": 3, "P2": 2, "P3": 2}
+
+    def test_groupby_without_grouping_on_empty_input(self, db):
+        empty = SelectOp(vendor_table(db), Constant(False))
+        group = GroupByOp(empty, [], [AggregateSpec("n", "count")])
+        rows = evaluate(group, EvaluationContext(db))
+        assert rows == [{"n": 0}]
+
+    def test_union_removes_duplicates(self, db):
+        p = ProjectOp(vendor_table(db), [("pid", ColumnRef("V.pid"))])
+        union = UnionOp([p, p])
+        assert len(evaluate(union, EvaluationContext(db))) == 3
+
+    def test_union_all_keeps_duplicates(self, db):
+        p = ProjectOp(vendor_table(db), [("pid", ColumnRef("V.pid"))])
+        union = UnionOp([p, p], all=True)
+        assert len(evaluate(union, EvaluationContext(db))) == 14
+
+    def test_unnest_fragment(self, db):
+        group = GroupByOp(
+            vendor_table(db),
+            ["V.pid"],
+            [
+                AggregateSpec(
+                    "frag",
+                    "xmlfrag",
+                    ColumnRef("V.vid"),
+                )
+            ],
+        )
+        unnest = UnnestOp(group, "frag", "item", ordinal_column="ord")
+        rows = evaluate(unnest, EvaluationContext(db))
+        assert len(rows) == 7 and {row["ord"] for row in rows} == {0, 1, 2}
+
+    def test_constants_op(self, db):
+        op = ConstantsOp("Constants1", ["TrigIDs", "Const1"])
+        ctx = EvaluationContext(db, constants_tables={"Constants1": [{"TrigIDs": "1", "Const1": "x"}]})
+        assert evaluate(op, ctx) == [{"TrigIDs": "1", "Const1": "x"}]
+
+    def test_constants_op_missing_binding(self, db):
+        op = ConstantsOp("Constants1", ["TrigIDs"])
+        with pytest.raises(EvaluationError):
+            evaluate(op, EvaluationContext(db))
+
+    def test_delta_variant_requires_trigger_context(self, db):
+        op = TableOp("vendor", "V", db.schema("vendor").column_names, TableVariant.DELTA_INSERTED)
+        with pytest.raises(EvaluationError):
+            evaluate(op, EvaluationContext(db))
+
+    def test_delta_and_old_variants(self, db):
+        result = db.update(
+            "vendor", {"price": 75.0}, where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1",
+            fire_triggers=False,
+        )
+        ctx = TriggerContext(db, "vendor", TriggerEvent.UPDATE, result.inserted, result.deleted)
+        columns = db.schema("vendor").column_names
+        inserted = evaluate(
+            TableOp("vendor", "V", columns, TableVariant.DELTA_INSERTED), EvaluationContext(db, ctx)
+        )
+        deleted = evaluate(
+            TableOp("vendor", "V", columns, TableVariant.DELTA_DELETED), EvaluationContext(db, ctx)
+        )
+        old = evaluate(
+            TableOp("vendor", "V", columns, TableVariant.OLD), EvaluationContext(db, ctx)
+        )
+        assert inserted[0]["V.price"] == 75.0
+        assert deleted[0]["V.price"] == 100.0
+        prices = {(r["V.vid"], r["V.pid"]): r["V.price"] for r in old}
+        assert prices[("Amazon", "P1")] == 100.0 and len(old) == 7
+
+    def test_old_variant_of_other_table_is_current(self, db):
+        result = db.update(
+            "vendor", {"price": 75.0}, where=lambda r: r["vid"] == "Amazon", fire_triggers=False
+        )
+        ctx = TriggerContext(db, "vendor", TriggerEvent.UPDATE, result.inserted, result.deleted)
+        old_products = evaluate(
+            TableOp("product", "P", db.schema("product").column_names, TableVariant.OLD),
+            EvaluationContext(db, ctx),
+        )
+        assert len(old_products) == 3
+
+
+class TestViewBuilder:
+    def test_materialized_catalog_matches_figure_4(self, db):
+        view = catalog_view()
+        doc = view.materialize(db)
+        products = doc.child_elements("product")
+        assert [p.attribute("name") for p in products] == ["CRT 15", "LCD 19"]
+        crt = products[0]
+        # CRT 15 groups vendors of both P1 and P3 (5 vendors total).
+        assert len(crt.child_elements("vendor")) == 5
+        lcd = products[1]
+        assert len(lcd.child_elements("vendor")) == 2
+
+    def test_having_predicate_filters_products(self, db):
+        # With min_vendors=3 only CRT 15 (5 vendors) qualifies.
+        view = catalog_view(min_vendors=3)
+        doc = view.materialize(db)
+        assert [p.attribute("name") for p in doc.child_elements("product")] == ["CRT 15"]
+
+    def test_element_nodes_keyed_by_canonical_key(self, db):
+        view = catalog_view()
+        nodes = view.element_nodes("/product", db)
+        assert set(nodes) == {("CRT 15",), ("LCD 19",)}
+
+    def test_nested_path_nodes(self, db):
+        view = catalog_view()
+        nodes = view.element_nodes("/product/vendor", db)
+        assert len(nodes) == 7
+
+    def test_path_graph_metadata(self, db):
+        view = catalog_view()
+        graph = view.path_graph("/product", db)
+        assert graph.node_column == "product__node"
+        assert graph.key_columns == ("P.pname",)
+        assert graph.level_specs[-1].name == "product"
+
+    def test_unknown_path_step_rejected(self, db):
+        view = catalog_view()
+        with pytest.raises(Exception):
+            view.path_graph("/nonexistent", db)
+
+    def test_base_tables(self):
+        view = catalog_view()
+        assert view.base_tables() == ["product", "vendor"]
+
+    def test_min_price_view_with_aggregate(self, db):
+        # The modified view of Figure 21: products expose only the minimum price.
+        vendor = ViewElementSpec(
+            name="vendor",
+            table="vendor",
+            alias="V",
+            link=[("pid", "pid")],
+            include_fragment=False,
+        )
+        product = ViewElementSpec(
+            name="product",
+            table="product",
+            alias="P",
+            element_key=["pname"],
+            attributes=[("name", "P.pname")],
+            content=[("min", ColumnRef("min_price"))],
+            children=[vendor],
+            aggregates=[AggregateSpec("min_price", "min", ColumnRef("V.price"))],
+        )
+        view = ViewDefinition("minprice", "catalog", product)
+        nodes = view.element_nodes("/product", db)
+        crt = nodes[("CRT 15",)]
+        assert crt.child_elements("min")[0].string_value() == "100.0"
+        assert crt.child_elements("vendor") == []
+
+    def test_multi_root_view(self, db):
+        products = ViewElementSpec(name="product", table="product", alias="P",
+                                   content=[("pid", "P.pid")])
+        vendors = ViewElementSpec(name="vendor", table="vendor", alias="V",
+                                  content=[("vid", "V.vid")])
+        view = ViewDefinition("db", "db", [products, vendors])
+        doc = view.materialize(db)
+        assert len(doc.child_elements("product")) == 3
+        assert len(doc.child_elements("vendor")) == 7
+
+    def test_empty_view_materializes_to_empty_root(self, db):
+        db.delete("vendor", fire_triggers=False)
+        view = catalog_view()
+        doc = view.materialize(db)
+        assert doc.name == "catalog" and doc.child_elements("product") == []

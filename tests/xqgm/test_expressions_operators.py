@@ -1,0 +1,248 @@
+"""Unit tests for XQGM expressions, operators, and canonical keys."""
+
+import pytest
+
+from repro.errors import EvaluationError, KeyDerivationError, XqgmError
+from repro.relational import Column, DataType, TableSchema
+from repro.xmlmodel import Element, Fragment
+from repro.xqgm import (
+    AggregateSpec,
+    Arithmetic,
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    Constant,
+    ElementConstructor,
+    GroupByOp,
+    IsNull,
+    JoinOp,
+    Parameter,
+    ProjectOp,
+    SelectOp,
+    TableOp,
+    UnionOp,
+    UnnestOp,
+    derive_keys,
+    ensure_columns,
+    clone_graph,
+    walk,
+)
+from repro.xqgm.expressions import AttributeSpec, predicate_holds
+from repro.xqgm.graph import replace_table_variant
+from repro.xqgm.operators import TableVariant
+
+from tests.conftest import build_paper_database
+
+
+class TestExpressions:
+    def test_column_ref(self):
+        assert ColumnRef("a").evaluate({"a": 5}) == 5
+
+    def test_column_ref_missing_raises(self):
+        with pytest.raises(EvaluationError):
+            ColumnRef("a").evaluate({"b": 1})
+
+    def test_constant_and_parameter(self):
+        assert Constant(3).evaluate({}) == 3
+        assert Parameter("p").evaluate({}, {"p": 9}) == 9
+        with pytest.raises(EvaluationError):
+            Parameter("p").evaluate({}, {})
+
+    def test_comparison_null_propagation(self):
+        expr = Comparison("=", ColumnRef("a"), Constant(1))
+        assert expr.evaluate({"a": None}) is None
+        assert predicate_holds(expr, {"a": None}) is False
+
+    def test_comparison_atomizes_xml(self):
+        expr = Comparison(">=", ColumnRef("n"), Constant(100))
+        assert expr.evaluate({"n": Element("price", None, [150])}) is True
+
+    def test_boolean_expr(self):
+        expr = BooleanExpr("and", (Constant(True), Comparison("<", ColumnRef("x"), Constant(5))))
+        assert expr.evaluate({"x": 3}) is True
+        assert BooleanExpr("not", (Constant(False),)).evaluate({}) is True
+
+    def test_arithmetic(self):
+        expr = Arithmetic("*", ColumnRef("x"), Constant(3))
+        assert expr.evaluate({"x": 4}) == 12
+        assert Arithmetic("+", Constant(None), Constant(1)).evaluate({}) is None
+
+    def test_is_null(self):
+        assert IsNull(ColumnRef("x")).evaluate({"x": None}) is True
+        assert IsNull(ColumnRef("x"), negate=True).evaluate({"x": 1}) is True
+
+    def test_element_constructor(self):
+        ctor = ElementConstructor(
+            "product",
+            (AttributeSpec("name", ColumnRef("pname")),),
+            (ColumnRef("frag"),),
+        )
+        frag = Fragment([Element("vendor")])
+        node = ctor.evaluate({"pname": "CRT", "frag": frag})
+        assert node.attribute("name") == "CRT"
+        assert len(node.child_elements("vendor")) == 1
+
+    def test_element_constructor_with_labels(self):
+        ctor = ElementConstructor("row", (), (ColumnRef("pid"),), ("pid",))
+        node = ctor.evaluate({"pid": "P1"})
+        assert node.child_elements("pid")[0].string_value() == "P1"
+
+    def test_referenced_columns(self):
+        expr = Comparison("=", Arithmetic("+", ColumnRef("a"), ColumnRef("b")), Constant(1))
+        assert expr.referenced_columns() == {"a", "b"}
+
+    def test_substitute(self):
+        expr = Comparison("=", ColumnRef("a"), Constant(1))
+        substituted = expr.substitute({"a": ColumnRef("z")})
+        assert substituted.referenced_columns() == {"z"}
+
+    def test_aggregate_count_and_sum(self):
+        rows = [{"x": 1}, {"x": None}, {"x": 3}]
+        assert AggregateSpec("c", "count").compute(rows) == 3
+        assert AggregateSpec("c", "count", ColumnRef("x")).compute(rows) == 2
+        assert AggregateSpec("s", "sum", ColumnRef("x")).compute(rows) == 4
+        assert AggregateSpec("m", "min", ColumnRef("x")).compute(rows) == 1
+        assert AggregateSpec("M", "max", ColumnRef("x")).compute(rows) == 3
+        assert AggregateSpec("a", "avg", ColumnRef("x")).compute(rows) == 2
+
+    def test_aggregate_xmlfrag_preserves_order(self):
+        rows = [{"n": Element("a")}, {"n": Element("b")}, {"n": None}]
+        frag = AggregateSpec("f", "xmlfrag", ColumnRef("n")).compute(rows)
+        assert [item.name for item in frag] == ["a", "b"]
+
+    def test_aggregate_distributivity_flag(self):
+        assert AggregateSpec("c", "count").is_distributive
+        assert AggregateSpec("s", "sum", ColumnRef("x")).is_distributive
+        assert not AggregateSpec("m", "min", ColumnRef("x")).is_distributive
+        assert not AggregateSpec("f", "xmlfrag", ColumnRef("x")).is_distributive
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(EvaluationError):
+            AggregateSpec("x", "median", ColumnRef("a"))
+
+
+def _catalog_tables():
+    return {
+        "product": TableSchema(
+            "product",
+            [Column("pid", DataType.TEXT), Column("pname", DataType.TEXT)],
+            primary_key=["pid"],
+        ),
+        "vendor": TableSchema(
+            "vendor",
+            [Column("vid", DataType.TEXT), Column("pid", DataType.TEXT), Column("price", DataType.REAL)],
+            primary_key=["vid", "pid"],
+        ),
+    }
+
+
+class TestOperatorsAndKeys:
+    def test_table_key_is_primary_key(self):
+        catalog = _catalog_tables()
+        op = TableOp("vendor", "V", catalog["vendor"].column_names)
+        assert derive_keys(op, catalog)[op.id] == ("V.vid", "V.pid")
+
+    def test_table_without_pk_fails(self):
+        catalog = {"t": TableSchema("t", [Column("a", DataType.TEXT)])}
+        op = TableOp("t", "T", ("a",))
+        with pytest.raises(KeyDerivationError):
+            derive_keys(op, catalog)
+
+    def test_select_project_inherit_key(self):
+        catalog = _catalog_tables()
+        table = TableOp("product", "P", catalog["product"].column_names)
+        select = SelectOp(table, Comparison("=", ColumnRef("P.pname"), Constant("x")))
+        project = ProjectOp(select, [("name", ColumnRef("P.pname")), ("P.pid", ColumnRef("P.pid"))])
+        keys = derive_keys(project, catalog)
+        assert keys[select.id] == ("P.pid",)
+        assert keys[project.id] == ("P.pid",)
+
+    def test_join_key_concatenates(self):
+        catalog = _catalog_tables()
+        p = TableOp("product", "P", catalog["product"].column_names)
+        v = TableOp("vendor", "V", catalog["vendor"].column_names)
+        join = JoinOp([p, v], equi_pairs=[("V.pid", "P.pid")])
+        assert derive_keys(join, catalog)[join.id] == ("P.pid", "V.vid", "V.pid")
+
+    def test_groupby_key_is_grouping_columns(self):
+        catalog = _catalog_tables()
+        p = TableOp("product", "P", catalog["product"].column_names)
+        group = GroupByOp(p, ["P.pname"], [AggregateSpec("n", "count")])
+        assert derive_keys(group, catalog)[group.id] == ("P.pname",)
+
+    def test_union_key_maps_through_mappings(self):
+        catalog = _catalog_tables()
+        p1 = TableOp("product", "P", catalog["product"].column_names)
+        p2 = TableOp("product", "Q", catalog["product"].column_names)
+        union = UnionOp(
+            [p1, p2],
+            columns=["pid", "pname"],
+            mappings=[
+                {"pid": "P.pid", "pname": "P.pname"},
+                {"pid": "Q.pid", "pname": "Q.pname"},
+            ],
+        )
+        assert derive_keys(union, catalog)[union.id] == ("pid",)
+
+    def test_unnest_requires_ordinal(self):
+        catalog = _catalog_tables()
+        p = TableOp("product", "P", catalog["product"].column_names)
+        unnest = UnnestOp(p, "P.pname", "item")
+        with pytest.raises(KeyDerivationError):
+            derive_keys(unnest, catalog)
+        unnest2 = UnnestOp(p, "P.pname", "item", ordinal_column="ord")
+        assert derive_keys(unnest2, catalog)[unnest2.id] == ("P.pid", "ord")
+
+    def test_join_requires_two_inputs(self):
+        catalog = _catalog_tables()
+        p = TableOp("product", "P", catalog["product"].column_names)
+        with pytest.raises(XqgmError):
+            JoinOp([p])
+
+    def test_duplicate_projection_names_rejected(self):
+        catalog = _catalog_tables()
+        p = TableOp("product", "P", catalog["product"].column_names)
+        with pytest.raises(XqgmError):
+            ProjectOp(p, [("a", ColumnRef("P.pid")), ("a", ColumnRef("P.pname"))])
+
+    def test_walk_visits_shared_nodes_once(self):
+        catalog = _catalog_tables()
+        p = TableOp("product", "P", catalog["product"].column_names)
+        join = JoinOp([p, p], equi_pairs=[("P.pid", "P.pid")])
+        assert sum(1 for op in walk(join) if op is p) == 1
+
+    def test_clone_preserves_sharing(self):
+        catalog = _catalog_tables()
+        p = TableOp("product", "P", catalog["product"].column_names)
+        s1 = SelectOp(p, Comparison("=", ColumnRef("P.pid"), Constant("P1")))
+        s2 = SelectOp(p, Comparison("=", ColumnRef("P.pid"), Constant("P2")))
+        join = JoinOp([s1, s2], equi_pairs=[("P.pid", "P.pid")])
+        cloned = clone_graph(join)
+        tables = [op for op in walk(cloned) if isinstance(op, TableOp)]
+        assert len(tables) == 1 and tables[0] is not p
+
+    def test_replace_table_variant(self):
+        catalog = _catalog_tables()
+        p = TableOp("product", "P", catalog["product"].column_names)
+        v = TableOp("vendor", "V", catalog["vendor"].column_names)
+        join = JoinOp([p, v], equi_pairs=[("V.pid", "P.pid")])
+        old = replace_table_variant(join, "vendor", TableVariant.OLD)
+        variants = {op.table: op.variant for op in walk(old) if isinstance(op, TableOp)}
+        assert variants["vendor"] is TableVariant.OLD
+        assert variants["product"] is TableVariant.CURRENT
+        # original untouched
+        assert v.variant is TableVariant.CURRENT
+
+    def test_ensure_columns_through_project(self):
+        catalog = _catalog_tables()
+        p = TableOp("product", "P", catalog["product"].column_names)
+        project = ProjectOp(p, [("name", ColumnRef("P.pname"))])
+        ensure_columns(project, ["P.pid"])
+        assert "P.pid" in project.output_columns
+
+    def test_ensure_columns_fails_through_groupby(self):
+        catalog = _catalog_tables()
+        p = TableOp("product", "P", catalog["product"].column_names)
+        group = GroupByOp(p, ["P.pname"], [AggregateSpec("n", "count")])
+        with pytest.raises(XqgmError):
+            ensure_columns(group, ["P.pid"])
