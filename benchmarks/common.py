@@ -71,3 +71,47 @@ def time_updates(benchmark, parameters: WorkloadParameters, mode, rounds: int = 
     runner = StatementRunner(setup, statements)
     benchmark.pedantic(runner, rounds=rounds, iterations=1, warmup_rounds=2)
     return runner
+
+
+class BatchRunner:
+    """Callable executing the next ``batch_size`` prepared statements as one batch.
+
+    The set-oriented counterpart of :class:`StatementRunner`: each timed call
+    submits a fresh slice of the statement pool through ``execute_batch``, so
+    the trigger pipeline runs once per call instead of once per statement.
+    The pool must hold enough statements for every timed call — re-running a
+    consumed statement would be a no-op update (empty pruned transitions)
+    and would skip the trigger path, understating batched cost.
+    """
+
+    def __init__(self, setup, statements, batch_size: int):
+        self.setup = setup
+        self.statements = list(statements)
+        self.batch_size = batch_size
+        self.position = 0
+
+    def __call__(self):
+        chunk = self.statements[self.position:self.position + self.batch_size]
+        if len(chunk) < self.batch_size:
+            raise RuntimeError(
+                "statement pool exhausted: size the pool to rounds x batch_size"
+            )
+        self.position += self.batch_size
+        self.setup.run_batch(chunk)
+
+    @property
+    def fired(self) -> int:
+        return self.setup.fired_count
+
+
+def time_batches(benchmark, parameters: WorkloadParameters, mode, batch_size: int,
+                 rounds: int = 10, warmup_rounds: int = 2):
+    """Benchmark the per-batch time for one parameter point / mode / batch size."""
+    harness = ExperimentHarness(parameters, updates=1)
+    setup = harness.build_setup(parameters, mode)
+    # Every timed (and warmup) call consumes a fresh batch of statements.
+    pool = (rounds + warmup_rounds + 1) * batch_size
+    statements = setup.workload.update_statements(pool, setup.database)
+    runner = BatchRunner(setup, statements, batch_size)
+    benchmark.pedantic(runner, rounds=rounds, iterations=1, warmup_rounds=warmup_rounds)
+    return runner

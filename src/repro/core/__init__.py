@@ -1,6 +1,8 @@
 """The paper's contribution: translating XML-view triggers into SQL triggers.
 
-Modules in this package mirror the system architecture of Figure 6:
+"Triggers over XML Views of Relational Data" (Shao, Novak,
+Shanmugasundaram — ICDE 2005; full citation in PAPER.md).  Modules in this
+package mirror the system architecture of Figure 6:
 
 * :mod:`repro.core.language` — the XML trigger specification language
   (Section 2.2): ``CREATE TRIGGER ... AFTER event ON path WHERE ... DO ...``;

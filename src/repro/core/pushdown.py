@@ -85,6 +85,18 @@ class PushdownOptions:
     old_node_requirement: str = OldNodeRequirement.FULL
     check_difference: bool | None = None  # None = skip iff injective (Theorem 3)
 
+    def cache_key(self) -> tuple:
+        """Hashable fingerprint: two option sets with equal keys compile to
+        interchangeable plans, so the service's plan cache can share the
+        translation across trigger groups."""
+        return (
+            self.push_affected_keys,
+            self.use_pruned_transitions,
+            self.compensate_old_aggregates,
+            self.old_node_requirement,
+            self.check_difference,
+        )
+
 
 @dataclass
 class AffectedPair:

@@ -1,7 +1,8 @@
 """In-memory relational engine substrate.
 
-This package implements the relational database features that the paper's
-translation scheme relies on (Section 2.3 of the paper):
+This package implements the relational database features that the paper
+("Triggers over XML Views of Relational Data", ICDE 2005) relies on for its
+translation scheme (Section 2.3):
 
 * typed tables with primary keys, unique constraints, and foreign keys;
 * hash indexes on key and join columns (Section 6.1: "built appropriate
@@ -22,7 +23,12 @@ from repro.relational.types import DataType, coerce_value, type_of_value
 from repro.relational.schema import Column, ForeignKey, TableSchema, UniqueConstraint
 from repro.relational.table import Table, TransitionTable
 from repro.relational.dml import (
+    Batch,
+    BatchResult,
+    BulkLoad,
+    CoalescedDelta,
     DeleteStatement,
+    DeltaCoalescer,
     InsertStatement,
     Statement,
     StatementResult,
@@ -32,10 +38,15 @@ from repro.relational.triggers import StatementTrigger, TriggerContext, TriggerE
 from repro.relational.database import Database
 
 __all__ = [
+    "Batch",
+    "BatchResult",
+    "BulkLoad",
+    "CoalescedDelta",
     "Column",
     "DataType",
     "Database",
     "DeleteStatement",
+    "DeltaCoalescer",
     "ForeignKey",
     "InsertStatement",
     "Statement",

@@ -1,19 +1,28 @@
-"""Data-manipulation statements executed at statement granularity.
+"""Data-manipulation statements executed at statement (or batch) granularity.
 
-The paper's translated triggers are SQL *statement-level* triggers: one
-firing per INSERT / UPDATE / DELETE statement, with transition tables holding
-every row the statement touched (Section 2.3, Section 3.2).  These statement
-objects are therefore the unit of execution for :class:`repro.relational.Database`.
+The translated triggers of "Triggers over XML Views of Relational Data"
+(ICDE 2005) are SQL *statement-level* triggers: one firing per INSERT /
+UPDATE / DELETE statement, with transition tables holding every row the
+statement touched (Section 2.3, Section 3.2).  These statement objects are
+therefore the unit of execution for :class:`repro.relational.Database`.
+
+Because the trigger bodies are fully set-oriented (they only ever see the
+transition tables, never individual rows), a *sequence* of statements can be
+executed as one set-at-a-time unit: :class:`Batch` groups statements,
+:class:`DeltaCoalescer` folds their per-statement transition tables into one
+net ``Δtable`` / ``∇table`` pair per (table, event), and
+:meth:`repro.relational.Database.execute_many` fires each statement trigger
+once per (table, event) with the combined delta tables instead of once per
+statement.
 
 Predicates and assignments are expressed as Python callables over row
-dictionaries; the SQL front end (``repro.sql``) compiles SQL text down to
-these same statement objects.
+dictionaries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.relational.table import TransitionTable
 
@@ -23,6 +32,11 @@ __all__ = [
     "UpdateStatement",
     "DeleteStatement",
     "StatementResult",
+    "Batch",
+    "BulkLoad",
+    "CoalescedDelta",
+    "DeltaCoalescer",
+    "BatchResult",
 ]
 
 RowPredicate = Callable[[dict[str, Any]], bool]
@@ -131,3 +145,234 @@ class StatementResult:
     def __post_init__(self) -> None:
         if not self.rowcount:
             self.rowcount = max(len(self.inserted), len(self.deleted))
+
+
+# --------------------------------------------------------------------------- batches
+
+
+@dataclass
+class Batch:
+    """An ordered sequence of DML statements executed as one set-oriented unit.
+
+    Statements are applied in order, but the generated statement triggers fire
+    once per (table, event) over the *net* transition tables of the whole
+    batch (see :class:`DeltaCoalescer`) rather than once per statement.  Use
+    :meth:`repro.relational.Database.execute_many` to run one.
+    """
+
+    statements: Sequence["Statement"] = field(default_factory=list)
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        self.statements = list(self.statements)
+
+    def add(self, statement: "Statement") -> "Batch":
+        """Append a statement; returns ``self`` for chaining."""
+        self.statements.append(statement)
+        return self
+
+    def __iter__(self) -> Iterator["Statement"]:
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+@dataclass
+class BulkLoad:
+    """A trigger-visible bulk INSERT of many rows into one table.
+
+    Unlike :meth:`repro.relational.Database.load_rows` (which bypasses
+    triggers entirely), a BulkLoad compiles to ordinary INSERT statements —
+    one per ``chunk_size`` rows, or a single statement when ``chunk_size`` is
+    ``None`` — so active views observe the loaded data.  Executed through
+    ``execute_many`` the whole load still fires each trigger only once.
+    """
+
+    table: str
+    rows: Sequence[Mapping[str, Any] | Sequence[Any]]
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        self.rows = list(self.rows)
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+
+    def statements(self) -> list[InsertStatement]:
+        """Compile the load into one INSERT statement per chunk."""
+        if not self.rows:
+            return []
+        size = self.chunk_size or len(self.rows)
+        return [
+            InsertStatement(self.table, self.rows[start:start + size])
+            for start in range(0, len(self.rows), size)
+        ]
+
+
+@dataclass
+class CoalescedDelta:
+    """Net transition tables for one (table, event) slice of a batch.
+
+    ``inserted`` / ``deleted`` play exactly the roles of ``Δtable`` /
+    ``∇table`` in a single-statement firing, except that they describe the
+    combined effect of every statement in the batch on this table.
+    """
+
+    table: str
+    event: str
+    inserted: TransitionTable
+    deleted: TransitionTable
+    statements: int = 1
+
+    @property
+    def rowcount(self) -> int:
+        """Number of affected rows in this slice."""
+        return max(len(self.inserted), len(self.deleted))
+
+
+#: Classification order of coalesced deltas (per table) when firing triggers.
+_EVENT_ORDER = ("INSERT", "UPDATE", "DELETE")
+
+
+class DeltaCoalescer:
+    """Folds per-statement transition tables into net per-(table, event) deltas.
+
+    Each row's journey through the batch is tracked by primary key and
+    reduced to its *net* effect:
+
+    * inserted then deleted within the batch → cancelled entirely (the
+      insert-then-delete edge case — no trigger observes the row);
+    * inserted then updated → a single net INSERT of the final version;
+    * updated repeatedly → a single net UPDATE from the first pre-image to
+      the last post-image;
+    * deleted then re-inserted → a net UPDATE (old pre-image, new row), which
+      the pruned transition tables of Definition 8 collapse to a no-op when
+      the row came back unchanged.
+
+    Tables without a primary key cannot pair old and new row versions, so
+    their deltas are concatenated per original statement event instead of
+    net-coalesced (still one firing per (table, event)).
+    """
+
+    def __init__(self) -> None:
+        # table -> key -> [first old row | None, last new row | None]
+        self._keyed: dict[str, dict[tuple, list] ] = {}
+        # table -> event -> [inserted rows, deleted rows]  (no-PK fallback)
+        self._bagged: dict[str, dict[str, tuple[list, list]]] = {}
+        self._schemas: dict[str, Any] = {}
+        self._order: list[str] = []  # tables in first-touched order
+        self._counts: dict[str, int] = {}  # statements touching each table
+
+    def absorb(self, result: StatementResult) -> None:
+        """Fold one statement's transition tables into the running net delta."""
+        table = result.table
+        schema = result.inserted.schema
+        if table not in self._schemas:
+            self._schemas[table] = schema
+            self._order.append(table)
+        self._counts[table] = self._counts.get(table, 0) + 1
+
+        if not schema.primary_key:
+            per_event = self._bagged.setdefault(table, {})
+            inserted, deleted = per_event.setdefault(result.event, ([], []))
+            inserted.extend(result.inserted.rows)
+            deleted.extend(result.deleted.rows)
+            return
+
+        state = self._keyed.setdefault(table, {})
+        # Deletions first: an UPDATE statement's ∇ rows must release pending
+        # new versions before its Δ rows record the replacements.
+        for row in result.deleted:
+            self._absorb_delete(state, schema.key_of(row), row)
+        for row in result.inserted:
+            self._absorb_insert(state, schema.key_of(row), row)
+
+    def _absorb_delete(self, state: dict, key: tuple, row: tuple) -> None:
+        entry = state.get(key)
+        if entry is None:
+            state[key] = [row, None]
+            return
+        old, new = entry
+        if new is not None:
+            if old is None:
+                del state[key]  # in-batch insert cancelled by this delete
+            else:
+                entry[1] = None  # back to a net delete of the original row
+        # else: net-deleted already; a second delete of the key is a no-op.
+
+    def _absorb_insert(self, state: dict, key: tuple, row: tuple) -> None:
+        entry = state.get(key)
+        if entry is None:
+            state[key] = [None, row]
+        else:
+            # Either a delete-then-reinsert (net update) or a newer version
+            # of an in-batch insert/update; keep the first pre-image.
+            entry[1] = row
+
+    def deltas(self) -> list[CoalescedDelta]:
+        """The net per-(table, event) deltas, tables in first-touched order.
+
+        Within one table the slices come out in INSERT, UPDATE, DELETE order;
+        empty slices are dropped.
+        """
+        result: list[CoalescedDelta] = []
+        for table in self._order:
+            schema = self._schemas[table]
+            statements = self._counts.get(table, 1)
+            buckets: dict[str, tuple[list, list]] = {
+                event: ([], []) for event in _EVENT_ORDER
+            }
+            for old, new in self._keyed.get(table, {}).values():
+                if old is None and new is not None:
+                    buckets["INSERT"][0].append(new)
+                elif old is not None and new is None:
+                    buckets["DELETE"][1].append(old)
+                elif old is not None and new is not None:
+                    buckets["UPDATE"][0].append(new)
+                    buckets["UPDATE"][1].append(old)
+            for event, (inserted, deleted) in self._bagged.get(table, {}).items():
+                buckets[event][0].extend(inserted)
+                buckets[event][1].extend(deleted)
+            for event in _EVENT_ORDER:
+                inserted, deleted = buckets[event]
+                if not inserted and not deleted:
+                    continue
+                result.append(
+                    CoalescedDelta(
+                        table=table,
+                        event=event,
+                        inserted=TransitionTable(schema, inserted),
+                        deleted=TransitionTable(schema, deleted),
+                        statements=statements,
+                    )
+                )
+        return result
+
+
+@dataclass
+class BatchResult:
+    """Outcome of :meth:`repro.relational.Database.execute_many`.
+
+    ``statements`` holds the individual per-statement results (in execution
+    order, triggers *not* fired per statement); ``deltas`` the coalesced
+    per-(table, event) slices the triggers actually fired on.
+    """
+
+    statements: list[StatementResult] = field(default_factory=list)
+    deltas: list[CoalescedDelta] = field(default_factory=list)
+    fired_sql_triggers: list[str] = field(default_factory=list)
+    fired_xml_triggers: list[Any] = field(default_factory=list)
+
+    @property
+    def rowcount(self) -> int:
+        """Total rows touched across all statements."""
+        return sum(result.rowcount for result in self.statements)
+
+    @property
+    def tables(self) -> list[str]:
+        """Tables touched by the batch, in first-touched order."""
+        seen: list[str] = []
+        for result in self.statements:
+            if result.table not in seen:
+                seen.append(result.table)
+        return seen

@@ -18,6 +18,7 @@ exactly as described in Section 4.2.
 from __future__ import annotations
 
 import enum
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
@@ -26,7 +27,7 @@ from repro.relational.table import TransitionTable
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.relational.database import Database
 
-__all__ = ["TriggerEvent", "TriggerContext", "StatementTrigger"]
+__all__ = ["TriggerEvent", "TriggerContext", "StatementTrigger", "bag_difference"]
 
 
 class TriggerEvent(enum.Enum):
@@ -66,6 +67,23 @@ class TriggerContext:
     deleted:
         ``∇table`` / ``OLD_TABLE``: affected rows before the statement
         (empty for INSERT).
+    statements:
+        How many DML statements produced these transition tables.  ``1`` for
+        an ordinary per-statement firing; greater when
+        :meth:`~repro.relational.database.Database.execute_many` coalesced a
+        whole batch's deltas into this single set-oriented firing.
+    batch_inserted / batch_deleted:
+        The updated table's *full* net batch delta (union over every event
+        slice of the batch).  ``None`` outside batched execution.  The
+        ``B_old`` reconstruction uses these so that a slice firing sees the
+        table as it stood before the whole batch, not merely before its own
+        slice.
+    batch_seen:
+        A scratch set shared by every firing of one batch (``None`` outside
+        batched execution).  Consumers that must act at most once per logical
+        transition per batch — e.g. the active-view service deduplicating XML
+        activations rediscovered by sibling event slices — record their keys
+        here.
     """
 
     database: "Database"
@@ -73,8 +91,29 @@ class TriggerContext:
     event: TriggerEvent
     inserted: TransitionTable
     deleted: TransitionTable
+    statements: int = 1
+    batch_inserted: TransitionTable | None = None
+    batch_deleted: TransitionTable | None = None
+    batch_seen: set | None = None
+    _net_pruned_inserted: TransitionTable | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _net_pruned_deleted: TransitionTable | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- derived tables --------------------------------------------------------
+
+    @property
+    def net_inserted(self) -> TransitionTable:
+        """The Δ to undo when reconstructing ``B_old``: the whole batch's net
+        inserted rows for this table when batched, this statement's otherwise."""
+        return self.batch_inserted if self.batch_inserted is not None else self.inserted
+
+    @property
+    def net_deleted(self) -> TransitionTable:
+        """The ∇ to restore when reconstructing ``B_old`` (see ``net_inserted``)."""
+        return self.batch_deleted if self.batch_deleted is not None else self.deleted
 
     def pruned_inserted(self) -> TransitionTable:
         """``ΔT' = ΔT − ∇T``: inserted rows that are not also in the deleted set.
@@ -83,33 +122,54 @@ class TriggerContext:
         on full row values), which removes no-op updates such as
         ``SET price = 1 * price``.
         """
-        return _bag_difference(self.inserted, self.deleted)
+        return bag_difference(self.inserted, self.deleted)
 
     def pruned_deleted(self) -> TransitionTable:
         """``∇T' = ∇T − ΔT``: deleted rows that are not also in the inserted set."""
-        return _bag_difference(self.deleted, self.inserted)
+        return bag_difference(self.deleted, self.inserted)
+
+    def net_pruned_inserted(self) -> TransitionTable:
+        """Pruned Δ over the batch-wide net delta (== ``pruned_inserted`` for
+        per-statement firings).  The executable trigger plans evaluate their
+        delta scans on these so affected keys and old-aggregate compensation
+        see the whole batch's changes, whichever event slice is firing.
+        Cached: a plan may scan the delta tables many times per firing."""
+        if self._net_pruned_inserted is None:
+            self._net_pruned_inserted = bag_difference(self.net_inserted, self.net_deleted)
+        return self._net_pruned_inserted
+
+    def net_pruned_deleted(self) -> TransitionTable:
+        """Pruned ∇ over the batch-wide net delta (see ``net_pruned_inserted``)."""
+        if self._net_pruned_deleted is None:
+            self._net_pruned_deleted = bag_difference(self.net_deleted, self.net_inserted)
+        return self._net_pruned_deleted
 
     def old_table_rows(self) -> list[tuple]:
         """Reconstruct the pre-update contents of the updated table (``B_old``).
 
         ``B_old = (B EXCEPT ΔB) UNION ∇B`` per Section 4.2 of the paper.
         The EXCEPT here removes by primary key (each Δ row replaced exactly
-        one pre-update row with the same key, or was newly inserted).
+        one pre-update row with the same key, or was newly inserted).  For a
+        batched firing the *whole batch's* net delta on this table is undone
+        (``batch_inserted`` / ``batch_deleted``), not just this slice's, so
+        every slice reconstructs the table as it stood before the batch.
         """
+        inserted = self.net_inserted
+        deleted = self.net_deleted
         table = self.database.table(self.table)
         schema = table.schema
         if schema.primary_key:
-            inserted_keys = {schema.key_of(row) for row in self.inserted}
+            inserted_keys = {schema.key_of(row) for row in inserted}
             rows = [row for row in table if schema.key_of(row) not in inserted_keys]
         else:
-            inserted = list(self.inserted.rows)
+            remaining = list(inserted.rows)
             rows = []
             for row in table:
-                if row in inserted:
-                    inserted.remove(row)
+                if row in remaining:
+                    remaining.remove(row)
                 else:
                     rows.append(row)
-        rows.extend(self.deleted.rows)
+        rows.extend(deleted.rows)
         return rows
 
     def old_table(self) -> TransitionTable:
@@ -117,13 +177,15 @@ class TriggerContext:
         return TransitionTable(self.database.table(self.table).schema, self.old_table_rows())
 
 
-def _bag_difference(left: TransitionTable, right: TransitionTable) -> TransitionTable:
+def bag_difference(left: TransitionTable, right: TransitionTable) -> TransitionTable:
     """Multiset difference of two transition tables on full row values."""
-    remaining = list(right.rows)
+    if not len(right):
+        return left
+    remaining = Counter(right.rows)
     result = []
     for row in left.rows:
-        if row in remaining:
-            remaining.remove(row)
+        if remaining[row] > 0:
+            remaining[row] -= 1
         else:
             result.append(row)
     return TransitionTable(left.schema, result)

@@ -1,4 +1,5 @@
-"""Synthetic experimental workloads (Section 6.1, Table 2 of the paper).
+"""Synthetic experimental workloads (Section 6.1, Table 2 of the paper —
+"Triggers over XML Views of Relational Data", ICDE 2005).
 
 The evaluation schema is a hierarchy of relational tables: for depth 2 it is
 the product/vendor schema of the running example; deeper hierarchies add

@@ -2,8 +2,12 @@
 
 Each ``figure_*`` method sweeps one Table 2 parameter exactly as the paper
 does, runs a number of independent updates against the leaf table, and
-reports the average time per update for each execution strategy.  The
-benchmarks under ``benchmarks/`` wrap these methods with pytest-benchmark;
+reports the average time per update for each execution strategy.  Updates can
+be driven either one statement at a time (the paper's measurement) or through
+the set-oriented batch engine (``measure(..., batch_size=N)`` /
+:meth:`ExperimentHarness.batch_throughput`), where the trigger pipeline runs
+once per batch instead of once per statement.  The benchmarks under
+``benchmarks/`` wrap these methods with pytest-benchmark;
 ``python -m repro.workloads.harness`` prints the full set of series as text
 tables (the data behind EXPERIMENTS.md).
 """
@@ -70,6 +74,23 @@ class ExperimentSetup:
         else:  # pragma: no cover - defensive
             self.database.execute(statement)
 
+    def run_batch(self, statements: Sequence[Statement]) -> None:
+        """Execute a group of workload statements as one set-oriented batch.
+
+        The translated systems go through
+        :meth:`~repro.core.service.ActiveViewService.execute_batch` (triggers
+        fire once per (table, event) over the coalesced deltas); the
+        MATERIALIZED baseline has no batch path — it re-materializes per
+        statement regardless — so it simply loops.
+        """
+        if self.service is not None:
+            self.service.execute_batch(statements)
+        elif self.baseline is not None:
+            for statement in statements:
+                self.baseline.execute(statement)
+        else:  # pragma: no cover - defensive
+            self.database.execute_many(statements)
+
     @property
     def fired_count(self) -> int:
         """Total number of XML trigger firings recorded so far."""
@@ -126,20 +147,39 @@ class ExperimentHarness:
         self,
         setup: ExperimentSetup,
         statements: Sequence[Statement] | None = None,
+        *,
+        batch_size: int | None = None,
     ) -> tuple[float, float]:
-        """Run the update workload; returns (avg seconds per update, fired/update)."""
+        """Run the update workload; returns (avg seconds per update, fired/update).
+
+        With ``batch_size`` set (> 1), statements are executed in chunks of
+        that size through the set-oriented batch path; the reported average is
+        still per *statement*, so per-statement and batched runs are directly
+        comparable.
+        """
         if statements is None:
             statements = setup.workload.update_statements(self.updates, setup.database)
         setup.statements = list(statements)
         fired_before = setup.fired_count
         durations: list[float] = []
-        for statement in setup.statements:
-            started = time.perf_counter()
-            setup.run_statement(statement)
-            durations.append(time.perf_counter() - started)
+        if batch_size is None or batch_size <= 1:
+            for statement in setup.statements:
+                started = time.perf_counter()
+                setup.run_statement(statement)
+                durations.append(time.perf_counter() - started)
+            total_statements = len(setup.statements)
+        else:
+            total_statements = 0
+            for start in range(0, len(setup.statements), batch_size):
+                chunk = setup.statements[start:start + batch_size]
+                started = time.perf_counter()
+                setup.run_batch(chunk)
+                elapsed = time.perf_counter() - started
+                durations.extend([elapsed / len(chunk)] * len(chunk))
+                total_statements += len(chunk)
         fired = setup.fired_count - fired_before
         avg = statistics.fmean(durations) if durations else 0.0
-        return avg, fired / max(1, len(setup.statements))
+        return avg, fired / max(1, total_statements or len(setup.statements))
 
     def _sweep(
         self,
@@ -250,6 +290,36 @@ class ExperimentHarness:
             lambda n: self.base_parameters.with_(num_triggers=int(n)),
         )
 
+    def batch_throughput(
+        self,
+        batch_sizes: Sequence[int] = (1, 5, 20),
+        modes: Sequence[ExecutionMode] = (ExecutionMode.GROUPED_AGG,),
+    ) -> list[ExperimentPoint]:
+        """Set-oriented batching ablation on the Figure 17 default workload.
+
+        ``batch_size=1`` is the paper's per-statement execution; larger sizes
+        run the same independent updates through ``execute_batch`` so each
+        statement trigger fires once per batch with the coalesced deltas.
+        Reported times stay per *statement* for direct comparison.
+        """
+        points: list[ExperimentPoint] = []
+        for mode in modes:
+            for size in batch_sizes:
+                setup = self.build_setup(self.base_parameters, mode)
+                avg_seconds, fired = self.measure(setup, batch_size=int(size))
+                points.append(
+                    ExperimentPoint(
+                        figure="batch_throughput",
+                        parameter="batch_size",
+                        value=int(size),
+                        mode=mode.value if isinstance(mode, ExecutionMode) else str(mode),
+                        avg_ms=avg_seconds * 1000.0,
+                        updates=len(setup.statements),
+                        fired_per_update=fired,
+                    )
+                )
+        return points
+
     def compile_time(self, trigger_count: int = 50) -> dict:
         """Section 6 compile-time claim: time to translate one XML trigger."""
         parameters = self.base_parameters.with_(num_triggers=1, satisfied_triggers=1)
@@ -296,6 +366,8 @@ def main() -> None:  # pragma: no cover - CLI convenience
     _print_points(harness.figure23_data_size((4_000, 8_000, 16_000)))
     print("Figure 24 (satisfied triggers):")
     _print_points(harness.figure24_satisfied((1, 10, 20)))
+    print("Batch throughput (set-oriented execute_batch vs per-statement):")
+    _print_points(harness.batch_throughput((1, 5, 10)))
     print("Compile time:")
     print(" ", harness.compile_time(20))
 

@@ -141,14 +141,19 @@ def _table_rows(op: TableOp, ctx: EvaluationContext) -> list[tuple]:
         )
     if transition.table != op.table:
         return []
+    # Delta scans read the *net* transition tables: identical to the plain
+    # statement tables for per-statement firings, and the whole batch's net
+    # delta for batched firings — so every event slice of a batch computes
+    # affected keys and compensated old aggregates over the same (complete)
+    # change set.
     if variant is TableVariant.DELTA_INSERTED:
-        return list(transition.inserted.rows)
+        return list(transition.net_inserted.rows)
     if variant is TableVariant.DELTA_DELETED:
-        return list(transition.deleted.rows)
+        return list(transition.net_deleted.rows)
     if variant is TableVariant.PRUNED_INSERTED:
-        return list(transition.pruned_inserted().rows)
+        return list(transition.net_pruned_inserted().rows)
     if variant is TableVariant.PRUNED_DELETED:
-        return list(transition.pruned_deleted().rows)
+        return list(transition.net_pruned_deleted().rows)
     raise EvaluationError(f"unknown table variant {variant!r}")  # pragma: no cover
 
 
@@ -364,9 +369,11 @@ def _try_index_probe(
     inserted_keys: set[tuple] = set()
     deleted_by_probe: dict[tuple, list[tuple]] = {}
     if old_of_updated_table and transition is not None:
-        inserted_keys = {schema.key_of(row) for row in transition.inserted}
+        # net_inserted / net_deleted cover the whole batch in batched firings,
+        # so the probe correction matches old_table_rows() exactly.
+        inserted_keys = {schema.key_of(row) for row in transition.net_inserted}
         probe_indexes = [schema.column_index(column) for column in base_columns]
-        for row in transition.deleted:
+        for row in transition.net_deleted:
             deleted_by_probe.setdefault(tuple(row[i] for i in probe_indexes), []).append(row)
 
     output: list[Row] = []

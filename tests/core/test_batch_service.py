@@ -1,0 +1,245 @@
+"""ActiveViewService batch execution and the compiled-plan cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.service import ActiveViewService, ExecutionMode
+from repro.relational.dml import Batch, DeleteStatement, InsertStatement, UpdateStatement
+from repro.xmlmodel import serialize
+from repro.xqgm.views import catalog_view
+
+from tests.conftest import build_paper_database
+
+TRIGGER = (
+    "CREATE TRIGGER Upd AFTER UPDATE ON view('catalog')/product "
+    "WHERE OLD_NODE/@name = 'CRT 15' DO sink(NEW_NODE)"
+)
+
+
+def build_service(mode=ExecutionMode.GROUPED_AGG, triggers=(TRIGGER,)):
+    db = build_paper_database(with_foreign_keys=False)
+    service = ActiveViewService(db, mode=mode)
+    service.register_view(catalog_view())
+    service.register_action("sink", lambda *args: None)
+    for text in triggers:
+        service.create_trigger(text)
+    return db, service
+
+
+class TestExecuteBatch:
+    @pytest.mark.parametrize(
+        "mode", [ExecutionMode.UNGROUPED, ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG]
+    )
+    def test_batch_fires_once_with_final_node(self, mode):
+        db, service = build_service(mode)
+        # Two price updates to the same monitored product, one batch: the XML
+        # trigger activates once, seeing only the pre-batch and post-batch
+        # states of the <product> element.
+        result = service.execute_batch(
+            Batch(
+                [
+                    UpdateStatement(
+                        "vendor", {"price": 80.0},
+                        where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1",
+                    ),
+                    UpdateStatement(
+                        "vendor", {"price": 90.0},
+                        where=lambda r: r["vid"] == "Bestbuy" and r["pid"] == "P1",
+                    ),
+                ]
+            )
+        )
+        assert result.fired_xml_triggers == ["Upd"]
+        (fired,) = service.fired
+        # The catalog view keys <product> elements by name.
+        assert fired.key == ("CRT 15",)
+        new_xml = serialize(fired.new_node)
+        assert "80.0" in new_xml and "90.0" in new_xml
+
+    def test_batch_matches_sequential_on_independent_updates(self):
+        # Independent = touching different <product> elements; the catalog
+        # view keys them by product *name* (P1 and P3 share "CRT 15"), so the
+        # statements target products with distinct names.
+        statements = [
+            UpdateStatement(
+                "vendor", {"price": 60.0},
+                where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1",
+            ),
+            UpdateStatement(
+                "vendor", {"price": 160.0},
+                where=lambda r: r["vid"] == "Buy.com" and r["pid"] == "P2",
+            ),
+        ]
+        trigger_any = (
+            "CREATE TRIGGER Any AFTER UPDATE ON view('catalog')/product DO sink(NEW_NODE)"
+        )
+        db_seq, seq = build_service(triggers=(TRIGGER, trigger_any))
+        db_bat, bat = build_service(triggers=(TRIGGER, trigger_any))
+
+        for statement in statements:
+            seq.execute(statement)
+        bat.execute_batch(statements)
+
+        def fired_set(service):
+            return sorted(
+                (f.trigger, f.key, serialize(f.new_node)) for f in service.fired
+            )
+
+        assert db_seq.snapshot() == db_bat.snapshot()
+        assert fired_set(seq) == fired_set(bat)
+
+    def test_intermediate_states_invisible(self):
+        db, service = build_service()
+        # Drop P1's price and put it back: net no-op, nothing fires.
+        service.execute_batch(
+            [
+                UpdateStatement(
+                    "vendor", {"price": 50.0},
+                    where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1",
+                ),
+                UpdateStatement(
+                    "vendor", {"price": 100.0},
+                    where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1",
+                ),
+            ]
+        )
+        assert service.fired == []
+
+    def test_insert_then_delete_within_batch_never_fires(self):
+        db, service = build_service(
+            triggers=(
+                "CREATE TRIGGER Ins AFTER INSERT ON view('catalog')/product DO sink(NEW_NODE)",
+            )
+        )
+        # P4 would reach the >= 2 vendors threshold mid-batch, but both rows
+        # vanish again before the end: the node never (net) appears.
+        db.load_rows("product", [{"pid": "P4", "pname": "OLED", "mfr": "LG"}])
+        service.execute_batch(
+            [
+                InsertStatement("vendor", [{"vid": "A", "pid": "P4", "price": 1.0}]),
+                InsertStatement("vendor", [{"vid": "B", "pid": "P4", "price": 2.0}]),
+                DeleteStatement("vendor", where=lambda r: r["pid"] == "P4"),
+            ]
+        )
+        assert service.fired == []
+
+    @pytest.mark.parametrize("mode", [ExecutionMode.UNGROUPED, ExecutionMode.GROUPED])
+    def test_cross_event_batch_fires_once_with_pre_batch_old_node(self, mode):
+        # An INSERT and an UPDATE statement both touching the same <product>
+        # element: the two event slices must collapse to ONE activation whose
+        # OLD_NODE is the true pre-batch state (no leakage of the sibling
+        # slice's changes into the reconstruction).
+        db, service = build_service(
+            mode,
+            triggers=(
+                "CREATE TRIGGER Any AFTER UPDATE ON view('catalog')/product DO sink(NEW_NODE)",
+            ),
+        )
+        service.execute_batch(
+            [
+                InsertStatement("vendor", [{"vid": "Newegg", "pid": "P2", "price": 150.0}]),
+                UpdateStatement(
+                    "vendor", {"price": 190.0},
+                    where=lambda r: r["vid"] == "Buy.com" and r["pid"] == "P2",
+                ),
+            ]
+        )
+        lcd = [f for f in service.fired if f.key == ("LCD 19",)]
+        assert len(lcd) == 1
+        old_xml, new_xml = serialize(lcd[0].old_node), serialize(lcd[0].new_node)
+        assert "Newegg" not in old_xml and "200.0" in old_xml  # pre-batch
+        assert "Newegg" in new_xml and "190.0" in new_xml      # post-batch
+
+    def test_direct_execute_many_also_dedupes_slices(self):
+        # The dedup set travels on the batch's TriggerContext, so bypassing
+        # the service and batching directly against the Database must not
+        # double-activate XML triggers when two event slices rediscover the
+        # same net node transition.
+        db, service = build_service(
+            triggers=(
+                "CREATE TRIGGER Any AFTER UPDATE ON view('catalog')/product DO sink(NEW_NODE)",
+            )
+        )
+        db.execute_many(
+            [
+                InsertStatement("vendor", [{"vid": "Newegg", "pid": "P1", "price": 100.0}]),
+                DeleteStatement(
+                    "vendor", where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1"
+                ),
+            ]
+        )
+        assert [f.trigger for f in service.fired] == ["Any"]
+
+    def test_result_carries_coalesced_deltas(self):
+        db, service = build_service()
+        result = service.execute_batch(
+            [
+                UpdateStatement(
+                    "vendor", {"price": 70.0},
+                    where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1",
+                ),
+                UpdateStatement(
+                    "vendor", {"price": 71.0},
+                    where=lambda r: r["vid"] == "Bestbuy" and r["pid"] == "P1",
+                ),
+            ]
+        )
+        (delta,) = result.deltas
+        assert (delta.table, delta.event, delta.statements) == ("vendor", "UPDATE", 2)
+        assert delta.rowcount == 2
+        assert len(result.statements) == 2
+
+
+class TestPlanCache:
+    def test_ungrouped_population_shares_one_plan(self):
+        names = ["CRT 15", "LCD 19", "OLED 27"]
+        triggers = [
+            f"CREATE TRIGGER T{i} AFTER UPDATE ON view('catalog')/product "
+            f"WHERE OLD_NODE/@name = '{name}' DO sink(NEW_NODE)"
+            for i, name in enumerate(names)
+        ]
+        db, service = build_service(ExecutionMode.UNGROUPED, triggers)
+        # One group per trigger, but a single pushdown derivation.
+        assert service.group_count() == len(names)
+        assert service.plan_cache_misses == 1
+        assert service.plan_cache_hits == len(names) - 1
+
+    def test_recreated_trigger_hits_cache(self):
+        db, service = build_service()
+        assert (service.plan_cache_hits, service.plan_cache_misses) == (0, 1)
+        service.drop_trigger("Upd")
+        service.create_trigger(TRIGGER)
+        assert (service.plan_cache_hits, service.plan_cache_misses) == (1, 1)
+
+    def test_different_events_get_different_plans(self):
+        db, service = build_service(
+            triggers=(
+                TRIGGER,
+                "CREATE TRIGGER Ins AFTER INSERT ON view('catalog')/product DO sink(NEW_NODE)",
+            )
+        )
+        assert service.plan_cache_misses == 2
+
+    def test_old_node_requirement_differentiates_plans(self):
+        # A trigger reading OLD_NODE content requires a FULL old side; one
+        # reading nothing at all allows the NONE requirement — different
+        # option fingerprints, hence different cached plans.
+        db, service = build_service(
+            triggers=(
+                "CREATE TRIGGER Shallow AFTER UPDATE ON view('catalog')/product "
+                "WHERE OLD_NODE/@name = 'CRT 15' DO sink(NEW_NODE)",
+                "CREATE TRIGGER Deep AFTER UPDATE ON view('catalog')/product "
+                "WHERE count(OLD_NODE/vendor) >= 3 DO sink(NEW_NODE)",
+            )
+        )
+        assert service.plan_cache_misses == 2
+
+    def test_cached_plan_still_fires_correctly(self):
+        db, service = build_service(ExecutionMode.UNGROUPED, (TRIGGER, TRIGGER.replace("Upd", "Upd2")))
+        assert service.plan_cache_hits == 1
+        service.update(
+            "vendor", {"price": 75.0},
+            where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1",
+        )
+        assert sorted(f.trigger for f in service.fired) == ["Upd", "Upd2"]

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Docs drift check: execute every Python code block in README.md.
+
+The README's examples are part of the public-API contract: if a rename or
+behaviour change breaks a snippet, this script fails and CI goes red.  Code
+blocks run top to bottom in one shared namespace (later blocks may use names
+defined by earlier ones), exactly as a reader following along would execute
+them.
+
+Usage:  PYTHONPATH=src python tools/check_readme.py [path-to-markdown ...]
+Exits non-zero on the first failing block, printing the block and the error.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+_BLOCK = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def run_file(path: pathlib.Path) -> int:
+    text = path.read_text(encoding="utf-8")
+    blocks = [match.group(1) for match in _BLOCK.finditer(text)]
+    if not blocks:
+        print(f"{path}: no python code blocks found", file=sys.stderr)
+        return 1
+    namespace: dict = {"__name__": f"readme_block::{path.name}"}
+    for index, block in enumerate(blocks, start=1):
+        try:
+            exec(compile(block, f"{path}:block{index}", "exec"), namespace)
+        except Exception as error:  # noqa: BLE001 - report and fail
+            print(f"FAIL {path} block {index}: {type(error).__name__}: {error}",
+                  file=sys.stderr)
+            print("----- block source -----", file=sys.stderr)
+            print(block.strip(), file=sys.stderr)
+            print("------------------------", file=sys.stderr)
+            return 1
+        print(f"ok   {path} block {index} ({len(block.splitlines())} lines)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    targets = [pathlib.Path(arg) for arg in argv] or [
+        pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    ]
+    for target in targets:
+        status = run_file(target)
+        if status:
+            return status
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
