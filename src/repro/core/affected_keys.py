@@ -106,6 +106,7 @@ def create_ak_graph(
 
 
 def _ak_suffix(op: Operator) -> str:
+    """Per-operator rename suffix keeping affected-key columns collision-free."""
     return f"#ak{op.id}"
 
 
@@ -115,6 +116,12 @@ def _create(
     delta_variant: TableVariant,
     catalog: Mapping[str, TableSchema],
 ) -> AffectedKeyGraph:
+    """Recursive core of CreateAKGraph: one Figure 8 case per operator kind.
+
+    Returns the affected-key graph of ``op``'s output (empty when the updated
+    table is unreachable below ``op``).  Join and union cases are split out
+    into :func:`_create_for_join` / :func:`_create_for_union`.
+    """
     # ---- Table -----------------------------------------------------------------
     if isinstance(op, TableOp):
         if op.table != table:
@@ -199,6 +206,13 @@ def _create_for_join(
     delta_variant: TableVariant,
     catalog: Mapping[str, TableSchema],
 ) -> AffectedKeyGraph:
+    """Join case of Figure 8 (lines 36-39): union of per-leg cross-products.
+
+    With one affected leg the restriction passes through unchanged; when the
+    updated table reaches the join through several legs, each affected leg is
+    crossed with the *original* other legs and the branches are unioned on
+    the join's canonical key columns.
+    """
     results = [_create(input_op, table, delta_variant, catalog) for input_op in op.inputs]
     affected = [(i, result) for i, result in enumerate(results) if not result.is_empty]
     if not affected:
@@ -254,6 +268,7 @@ def _create_for_union(
     delta_variant: TableVariant,
     catalog: Mapping[str, TableSchema],
 ) -> AffectedKeyGraph:
+    """Union case of Figure 8: per-input affected keys mapped to output columns."""
     union_key = getattr(op, "canonical_key", None)
     if not union_key:
         raise TriggerCompilationError(

@@ -133,6 +133,11 @@ def parse_trigger(text: str) -> TriggerSpec:
         )
     view = view_match.group("view")
     raw_path = view_match.group("path")
+    if "//" in raw_path:
+        raise TriggerSyntaxError(
+            f"trigger {name!r}: descendant steps ('//') are not supported in the "
+            "trigger Path (only child element steps)"
+        )
     path_steps = tuple(step for step in raw_path.strip("/").split("/") if step)
     if not path_steps:
         raise TriggerSyntaxError(f"trigger {name!r}: the monitored path must name an element")

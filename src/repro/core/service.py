@@ -30,6 +30,7 @@ Three execution modes reproduce the systems evaluated in Section 6:
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -53,7 +54,7 @@ from repro.core.pushdown import (
 from repro.core.semantics import check_trigger_specifiable
 from repro.core.trigger import ActionCall, TriggerSpec
 
-__all__ = ["ExecutionMode", "FiredTrigger", "ActiveViewService"]
+__all__ = ["ExecutionMode", "FiredTrigger", "PlanCache", "ActiveViewService"]
 
 
 class ExecutionMode(enum.Enum):
@@ -102,8 +103,63 @@ class _CompiledGroup:
         self.constants_cache = None
 
 
+class PlanCache:
+    """Thread-safe cache of compiled trigger plans, shareable across services.
+
+    The cache maps ``(view, path, XML event, pushdown-option fingerprint)``
+    keys to the per-table :class:`CompiledTableTrigger` translations derived
+    by Trigger Pushdown.  Compiled plans reference base tables *by name* and
+    receive the database at evaluation time, so one cache may be shared by
+    several :class:`ActiveViewService` instances — in particular by the
+    per-shard services of a :class:`repro.serving.ActiveViewServer`, whose
+    shards all expose the same catalog.  Sharing means an N-shard server pays
+    the pushdown derivation once per distinct plan, not once per shard.
+
+    Thread safety: :meth:`get_or_compile` holds the cache lock for the whole
+    lookup-or-compile, so concurrent callers racing on the same key compile
+    exactly once (the others block briefly and then hit).  Compilation runs
+    at trigger-creation time, never on the serving hot path, so the coarse
+    lock does not affect DML throughput.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._plans: dict[tuple, dict[str, CompiledTableTrigger]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compile(
+        self,
+        key: tuple,
+        compile_fn: Callable[[], dict[str, CompiledTableTrigger]],
+    ) -> tuple[dict[str, CompiledTableTrigger], bool]:
+        """Return ``(translations, was_hit)``, compiling at most once per key."""
+        with self._lock:
+            translations = self._plans.get(key)
+            if translations is not None:
+                self.hits += 1
+                return translations, True
+            translations = compile_fn()
+            self._plans[key] = translations
+            self.misses += 1
+            return translations, False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
 class ActiveViewService:
-    """Middleware exposing active (trigger-enabled) XML views of relational data."""
+    """Middleware exposing active (trigger-enabled) XML views of relational data.
+
+    Thread-safety model: a service instance is *single-writer* — DML
+    execution, trigger creation, and the firing log are meant to be driven
+    from one thread at a time (the shard-worker model of
+    :class:`repro.serving.ActiveViewServer`).  The only pieces designed for
+    cross-thread sharing are the :class:`PlanCache` (pass one instance to
+    several services) and the registered activation listeners, which are
+    invoked on whichever thread executes the DML.
+    """
 
     def __init__(
         self,
@@ -114,6 +170,7 @@ class ActiveViewService:
         use_pruned_transitions: bool = True,
         create_indexes: bool = True,
         strict_actions: bool = False,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.database = database
         self.mode = mode
@@ -131,10 +188,15 @@ class ActiveViewService:
         # same monitored path and options compile to identical plans, so
         # UNGROUPED populations (one group per trigger) and re-created
         # triggers skip the whole pushdown derivation after the first time.
-        self._plan_cache: dict[tuple, dict[str, CompiledTableTrigger]] = {}
+        # A shared PlanCache extends the same sharing across services (the
+        # per-shard services of an ActiveViewServer pass one cache here).
+        # "plan_cache or PlanCache()" would discard an *empty* shared cache
+        # (PlanCache defines __len__, so an empty one is falsy).
+        self._plan_cache: PlanCache = plan_cache if plan_cache is not None else PlanCache()
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self._fired: list[FiredTrigger] = []
+        self._listeners: list[Callable[[FiredTrigger], None]] = []
         self._sql_trigger_counter = 0
         self.last_compile_seconds = 0.0
 
@@ -154,6 +216,23 @@ class ActiveViewService:
     def register_action(self, name: str, function: Callable[..., Any]) -> None:
         """Register an external action function callable from trigger actions."""
         self.registry.register(name, function)
+
+    def add_activation_listener(self, listener: Callable[[FiredTrigger], None]) -> None:
+        """Register a hook invoked with every :class:`FiredTrigger` as it fires.
+
+        Listeners run synchronously on the executing thread, after the
+        trigger's action function.  The serving layer uses this to fan
+        activations out to subscriber queues; tests use it to observe firings
+        without going through ``service.fired``.
+        """
+        self._listeners.append(listener)
+
+    def remove_activation_listener(self, listener: Callable[[FiredTrigger], None]) -> None:
+        """Remove a previously registered activation listener (idempotent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def view(self, name: str) -> ViewDefinition:
         """Look up a registered view."""
@@ -345,18 +424,21 @@ class ActiveViewService:
         path_graph = self._path_graph(spec)
         options = self._pushdown_options(group)
         plan_key = (spec.view, spec.path, spec.event, options.cache_key())
-        translations = self._plan_cache.get(plan_key)
-        if translations is None:
-            translations = translate_path(
+        translations, was_hit = self._plan_cache.get_or_compile(
+            plan_key,
+            lambda: translate_path(
                 path_graph, spec.event, self.database, options, trigger_name=spec.name
-            )
-            self._plan_cache[plan_key] = translations
-            self.plan_cache_misses += 1
-        else:
+            ),
+        )
+        if was_hit:
             # Structurally identical plan already derived (possibly for a
             # different group — e.g. every UNGROUPED trigger of a Figure 17
-            # population); the rendered SQL keeps the first trigger's name.
+            # population, or the same trigger compiled on a sibling shard
+            # service sharing this cache); the rendered SQL keeps the first
+            # trigger's name.
             self.plan_cache_hits += 1
+        else:
+            self.plan_cache_misses += 1
         compiled = _CompiledGroup(
             group=group,
             translations=translations,
@@ -434,18 +516,19 @@ class ActiveViewService:
                         compiled_args=arguments,
                         argument_parameters=row.argument_constants,
                     )
-                    self._fired.append(
-                        FiredTrigger(
-                            trigger=spec.name,
-                            view=spec.view,
-                            path=spec.path,
-                            event=spec.event,
-                            key=pair.key,
-                            old_node=pair.old_node,
-                            new_node=pair.new_node,
-                            action_call=call,
-                        )
+                    fired = FiredTrigger(
+                        trigger=spec.name,
+                        view=spec.view,
+                        path=spec.path,
+                        event=spec.event,
+                        key=pair.key,
+                        old_node=pair.old_node,
+                        new_node=pair.new_node,
+                        action_call=call,
                     )
+                    self._fired.append(fired)
+                    for listener in self._listeners:
+                        listener(fired)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

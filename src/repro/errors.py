@@ -17,6 +17,9 @@ __all__ = [
     "UnknownColumnError",
     "TypeMismatchError",
     "TransactionError",
+    "ShardRoutingError",
+    "ServingError",
+    "ServerStoppedError",
     "SqlError",
     "SqlSyntaxError",
     "SqlPlanError",
@@ -75,6 +78,24 @@ class TypeMismatchError(RelationalError):
 
 class TransactionError(RelationalError):
     """Invalid use of the statement/transaction API."""
+
+
+class ShardRoutingError(RelationalError):
+    """A statement could not be routed to a single shard (e.g. its keys span
+    shards under the configured shard-key policy)."""
+
+
+# ---------------------------------------------------------------------------
+# Serving layer
+# ---------------------------------------------------------------------------
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the concurrent serving layer."""
+
+
+class ServerStoppedError(ServingError):
+    """A statement was submitted to a server that is not running."""
 
 
 # ---------------------------------------------------------------------------

@@ -36,6 +36,7 @@ from repro.relational.dml import (
 )
 from repro.relational.triggers import StatementTrigger, TriggerContext, TriggerEvent
 from repro.relational.database import Database
+from repro.relational.sharded import ShardRouter, ShardedDatabase, stable_hash
 
 __all__ = [
     "Batch",
@@ -49,6 +50,8 @@ __all__ = [
     "DeltaCoalescer",
     "ForeignKey",
     "InsertStatement",
+    "ShardRouter",
+    "ShardedDatabase",
     "Statement",
     "StatementResult",
     "StatementTrigger",
@@ -60,5 +63,6 @@ __all__ = [
     "UniqueConstraint",
     "UpdateStatement",
     "coerce_value",
+    "stable_hash",
     "type_of_value",
 ]

@@ -1,0 +1,22 @@
+"""Concurrent sharded serving layer for active XML views.
+
+This package turns the single-caller pipeline of
+:class:`~repro.core.service.ActiveViewService` into a *server*:
+
+* :class:`ActiveViewServer` (:mod:`repro.serving.server`) — accepts DML from
+  many concurrent clients, routes statements to per-shard single-writer
+  worker loops, micro-batches each shard's queue through the set-oriented
+  batch engine, and shares one thread-safe compiled-plan cache across
+  shards;
+* :class:`Subscriber` / :class:`Activation`
+  (:mod:`repro.serving.subscribers`) — bounded activation fan-out with
+  at-least-once, per-node-ordered delivery.
+
+See ``docs/api.md`` for the full reference and
+``examples/concurrent_subscribers.py`` for an end-to-end walkthrough.
+"""
+
+from repro.serving.server import ActiveViewServer, ShardStats, Ticket
+from repro.serving.subscribers import Activation, Subscriber
+
+__all__ = ["ActiveViewServer", "Activation", "ShardStats", "Subscriber", "Ticket"]

@@ -1,0 +1,463 @@
+"""ActiveViewServer — the concurrent sharded serving layer.
+
+The paper's pipeline makes one update cheap (grouped, translated triggers);
+the batch engine (PR 1) makes one *stream* cheap (set-at-a-time execution).
+This module adds throughput **across** streams: an
+:class:`ActiveViewServer` accepts DML from many concurrent clients, routes
+each statement to the shard that owns its rows, and drives every shard with
+a dedicated single-writer worker loop that **micro-batches under load** —
+whatever has accumulated in the shard's queue (up to ``max_batch``) is
+executed as one set-oriented batch through
+:meth:`~repro.core.service.ActiveViewService.execute_batch`, so queueing
+pressure automatically turns into per-statement cost amortization.
+
+Architecture::
+
+    clients ──submit()──► per-shard bounded queues ──► shard worker threads
+                                                          │  execute_batch
+                                                          ▼
+                                       ActiveViewService (one per shard,
+                                       shared thread-safe PlanCache)
+                                                          │  activations
+                                                          ▼
+                              bounded Subscriber queues (at-least-once,
+                              per-node-ordered — see repro.serving.subscribers)
+
+Concurrency model, in one paragraph: all mutation of a shard's
+:class:`~repro.relational.database.Database` happens on that shard's worker
+thread (single-writer), so no table-level locking is needed beyond the
+database's own serialization lock; the only cross-thread structures are the
+submission queues, the shared :class:`~repro.core.service.PlanCache`
+(trigger *compilation* only, never the hot path), and the subscriber queues.
+Statements of one client that touch one node are executed and delivered in
+submission order because a node's key always routes to the same shard.
+
+Correctness is pinned by an equivalence property
+(``tests/serving/test_concurrent_equivalence.py``): for conflict-free client
+streams on a view-closed sharding, the *set* of activations the server
+delivers equals the set a single sequential service produces for the same
+statements.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.service import ActiveViewService, ExecutionMode, FiredTrigger, PlanCache
+from repro.core.trigger import TriggerSpec
+from repro.errors import ServerStoppedError, ServingError
+from repro.relational.database import Database
+from repro.relational.dml import Statement, StatementResult
+from repro.relational.sharded import ShardedDatabase
+from repro.serving.subscribers import Activation, Subscriber
+from repro.xqgm.views import ViewDefinition
+
+__all__ = ["ActiveViewServer", "Ticket", "ShardStats"]
+
+#: Queue sentinel asking a shard worker to exit.
+_STOP = object()
+
+
+class Ticket:
+    """Completion handle for one submitted statement.
+
+    A broadcast statement (predicate-only WHERE, no key set) fans out to
+    every shard; its ticket completes when *all* shards have executed it and
+    :meth:`result` returns the list of per-shard results.  A routed
+    statement's ticket returns the owning shard's single
+    :class:`~repro.relational.dml.StatementResult`.
+    """
+
+    def __init__(self, parts: int = 1) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._remaining = parts
+        self._parts = parts
+        self._results: list[StatementResult] = []
+        self._error: BaseException | None = None
+
+    def _resolve(self, result: StatementResult) -> None:
+        with self._lock:
+            self._results.append(result)
+            self._remaining -= 1
+            if self._remaining <= 0:
+                self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        with self._lock:
+            if self._error is None:
+                self._error = error
+            self._remaining -= 1
+            if self._remaining <= 0:
+                self._event.set()
+
+    @property
+    def done(self) -> bool:
+        """Whether every part of the statement has finished (or failed)."""
+        return self._event.is_set()
+
+    def result(
+        self, timeout: float | None = None
+    ) -> StatementResult | list[StatementResult]:
+        """Block for completion; re-raise the execution error if one occurred."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("statement still pending after timeout")
+        if self._error is not None:
+            raise self._error
+        return self._results[0] if self._parts == 1 else list(self._results)
+
+
+@dataclass
+class _Submission:
+    statement: Statement
+    ticket: Ticket
+
+
+@dataclass
+class ShardStats:
+    """Per-shard serving counters (read them after :meth:`ActiveViewServer.drain`)."""
+
+    submitted: int = 0
+    statements: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    errors: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        """Average micro-batch size observed so far."""
+        return self.statements / self.batches if self.batches else 0.0
+
+
+class ActiveViewServer:
+    """Concurrent sharded front end over per-shard :class:`ActiveViewService`\\ s.
+
+    Parameters
+    ----------
+    database:
+        A :class:`~repro.relational.sharded.ShardedDatabase` (or a plain
+        :class:`~repro.relational.database.Database`, served as one shard).
+    mode:
+        Execution mode for every shard service (default GROUPED_AGG).
+    max_batch:
+        Micro-batch cap: a shard worker drains at most this many queued
+        statements into one ``execute_batch`` call.  Bounds both the latency
+        of the first statement in a batch and the blast radius of a failing
+        statement (a failure fails its whole micro-batch's tickets).
+    queue_capacity:
+        Per-shard submission-queue bound; :meth:`submit` blocks when the
+        owning shard's queue is full (producer backpressure).
+    service_options:
+        Extra keyword arguments forwarded to every per-shard
+        :class:`~repro.core.service.ActiveViewService`.
+
+    Views, actions and triggers registered through the server are installed
+    on every shard service; trigger compilation cost is shared through one
+    thread-safe :class:`~repro.core.service.PlanCache`, so an N-shard server
+    derives each distinct plan once, not N times.
+    """
+
+    def __init__(
+        self,
+        database: ShardedDatabase | Database,
+        mode: ExecutionMode = ExecutionMode.GROUPED_AGG,
+        *,
+        max_batch: int = 32,
+        queue_capacity: int = 1024,
+        service_options: dict[str, Any] | None = None,
+    ) -> None:
+        if isinstance(database, Database):
+            database = ShardedDatabase.from_databases([database], name=database.name)
+        if max_batch < 1:
+            raise ServingError("max_batch must be at least 1")
+        self.sharded = database
+        self.max_batch = max_batch
+        self.plan_cache = PlanCache()
+        self.services: list[ActiveViewService] = [
+            ActiveViewService(
+                shard, mode=mode, plan_cache=self.plan_cache, **(service_options or {})
+            )
+            for shard in database.shards
+        ]
+        self._queues: list[queue.Queue] = [
+            queue.Queue(maxsize=queue_capacity) for _ in database.shards
+        ]
+        self.stats: list[ShardStats] = [ShardStats() for _ in database.shards]
+        self._sequences: list[int] = [0] * database.shard_count
+        self._subscribers: list[Subscriber] = []
+        self._subscribers_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self._aborting = threading.Event()
+        # submit() runs on arbitrary client threads; the submitted counters
+        # are the one ShardStats field not confined to a worker thread.
+        self._submit_lock = threading.Lock()
+        for index, service in enumerate(self.services):
+            service.add_activation_listener(self._make_listener(index))
+
+    # ------------------------------------------------------------------ registration
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards (== worker threads when running)."""
+        return self.sharded.shard_count
+
+    def register_view(self, view: ViewDefinition) -> None:
+        """Register an XML view on every shard service."""
+        for service in self.services:
+            service.register_view(view)
+
+    def register_action(self, name: str, function: Callable[..., Any]) -> None:
+        """Register an external action function on every shard service.
+
+        The function is invoked synchronously on the shard worker thread that
+        fired the trigger, so actions of different shards overlap — blocking
+        work in an action (a notification RPC, say) stalls only its own
+        shard.  The function must therefore be thread-safe.
+        """
+        for service in self.services:
+            service.register_action(name, function)
+
+    def create_trigger(self, definition: str | TriggerSpec) -> TriggerSpec:
+        """Create an XML trigger on every shard service (shared plan cache)."""
+        spec: TriggerSpec | None = None
+        for service in self.services:
+            created = service.create_trigger(
+                definition if spec is None else spec
+            )
+            spec = spec or created
+        assert spec is not None
+        return spec
+
+    def drop_trigger(self, name: str) -> None:
+        """Drop an XML trigger from every shard service."""
+        for service in self.services:
+            service.drop_trigger(name)
+
+    @property
+    def triggers(self) -> list[TriggerSpec]:
+        """The registered XML trigger specs (identical on every shard)."""
+        return self.services[0].triggers
+
+    # ------------------------------------------------------------------ subscriptions
+
+    def subscribe(self, name: str | None = None, capacity: int = 256) -> Subscriber:
+        """Attach a bounded activation subscriber (see :mod:`repro.serving.subscribers`)."""
+        with self._subscribers_lock:
+            subscriber = Subscriber(name or f"subscriber{len(self._subscribers) + 1}", capacity)
+            self._subscribers.append(subscriber)
+            return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Close a subscriber and detach it from delivery."""
+        subscriber.close()
+        with self._subscribers_lock:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+
+    def _make_listener(self, shard: int) -> Callable[[FiredTrigger], None]:
+        def listener(fired: FiredTrigger) -> None:
+            # Runs on the shard's (single) executing thread, inside the
+            # shard database's lock — per-shard sequences need no extra lock.
+            self._sequences[shard] += 1
+            activation = Activation(
+                shard=shard,
+                sequence=self._sequences[shard],
+                trigger=fired.trigger,
+                view=fired.view,
+                path=fired.path,
+                event=fired.event,
+                key=fired.key,
+                old_node=fired.old_node,
+                new_node=fired.new_node,
+            )
+            with self._subscribers_lock:
+                targets = [s for s in self._subscribers if not s.closed]
+            for subscriber in targets:
+                subscriber._offer(activation, give_up=self._aborting.is_set)
+
+        return listener
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> "ActiveViewServer":
+        """Spawn one worker thread per shard; returns ``self`` for chaining."""
+        if self._running:
+            return self
+        self._aborting.clear()
+        self._running = True
+        self._threads = []
+        for index in range(self.shard_count):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(index,), name=f"shard-worker-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+        return self
+
+    def drain(self) -> None:
+        """Block until every queued statement has been executed."""
+        for shard_queue in self._queues:
+            shard_queue.join()
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop the workers.
+
+        With ``drain=True`` (default) queued statements finish first and
+        every accepted activation is delivered.  With ``drain=False`` pending
+        submissions fail with :class:`~repro.errors.ServerStoppedError` and
+        publishers stop retrying full subscriber queues (deliveries abandoned
+        this way are counted on each subscriber).
+        """
+        if not self._running:
+            return
+        self._running = False
+        if drain:
+            self.drain()
+        else:
+            self._aborting.set()
+        for shard_queue in self._queues:
+            shard_queue.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        # submit() checks _running without a lock, so a racing client may
+        # have enqueued behind the sentinel after the drain; sweep the queues
+        # so no ticket is left hanging (and no stale sentinel can kill a
+        # restarted worker).
+        for shard_queue in self._queues:
+            while True:
+                try:
+                    item = shard_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _STOP:
+                    item.ticket._fail(ServerStoppedError("server stopped before execution"))
+                shard_queue.task_done()
+
+    def __enter__(self) -> "ActiveViewServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ submission
+
+    def submit(self, statement: Statement) -> Ticket:
+        """Enqueue one DML statement; returns a :class:`Ticket` immediately.
+
+        Routed statements go to their owning shard's queue; broadcast
+        statements (no key set to route by) are enqueued on every shard and
+        complete when all shards have run them.  Blocks only when the target
+        queue is full (backpressure).
+        """
+        if not self._running:
+            raise ServerStoppedError("server is not running (call start())")
+        shard = self.sharded.statement_shard(statement)
+        if shard is None:
+            ticket = Ticket(parts=self.shard_count)
+            for index, shard_queue in enumerate(self._queues):
+                with self._submit_lock:
+                    self.stats[index].submitted += 1
+                shard_queue.put(_Submission(statement, ticket))
+        else:
+            ticket = Ticket()
+            with self._submit_lock:
+                self.stats[shard].submitted += 1
+            self._queues[shard].put(_Submission(statement, ticket))
+        return ticket
+
+    def execute(
+        self, statement: Statement, timeout: float | None = 30.0
+    ) -> StatementResult | list[StatementResult]:
+        """Submit one statement and block for its result (closed-loop client)."""
+        return self.submit(statement).result(timeout)
+
+    def submit_many(self, statements: Iterable[Statement]) -> list[Ticket]:
+        """Submit a stream of statements without waiting (open-loop client)."""
+        return [self.submit(statement) for statement in statements]
+
+    # ------------------------------------------------------------------ results
+
+    @property
+    def fired(self) -> list[FiredTrigger]:
+        """All firings across shards (per-shard order preserved, shards concatenated)."""
+        combined: list[FiredTrigger] = []
+        for service in self.services:
+            combined.extend(service.fired)
+        return combined
+
+    @property
+    def activations_published(self) -> int:
+        """Total activations produced across shards."""
+        return sum(self._sequences)
+
+    def clear_logs(self) -> None:
+        """Forget recorded firings and action calls on every shard service."""
+        for service in self.services:
+            service.clear_logs()
+
+    # ------------------------------------------------------------------ worker loop
+
+    def _worker_loop(self, index: int) -> None:
+        shard_queue = self._queues[index]
+        service = self.services[index]
+        stats = self.stats[index]
+        while True:
+            item = shard_queue.get()
+            if item is _STOP:
+                shard_queue.task_done()
+                return
+            if self._aborting.is_set():
+                item.ticket._fail(ServerStoppedError("server stopped before execution"))
+                shard_queue.task_done()
+                continue
+            # Micro-batch under load: drain whatever else is already queued,
+            # up to the cap.  An idle server degenerates to per-statement
+            # execution; a loaded one amortizes the trigger pipeline across
+            # the whole chunk.
+            chunk = [item]
+            while len(chunk) < self.max_batch:
+                try:
+                    extra = shard_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    shard_queue.task_done()  # settle the taken sentinel ...
+                    shard_queue.put(extra)   # ... and requeue it for later
+                    break
+                chunk.append(extra)
+            self._run_chunk(service, stats, chunk)
+            for _ in chunk:
+                shard_queue.task_done()
+
+    def _run_chunk(
+        self, service: ActiveViewService, stats: ShardStats, chunk: Sequence[_Submission]
+    ) -> None:
+        statements = [submission.statement for submission in chunk]
+        try:
+            batch = service.execute_batch(statements)
+        except Exception as exc:  # noqa: BLE001 - forwarded to the submitters
+            # execute_many semantics: the failing statement's predecessors are
+            # applied, triggers have not fired.  The whole micro-batch's
+            # tickets carry the error; max_batch bounds this blast radius.
+            stats.errors += 1
+            for submission in chunk:
+                submission.ticket._fail(exc)
+            return
+        stats.batches += 1
+        stats.statements += len(chunk)
+        stats.max_batch = max(stats.max_batch, len(chunk))
+        for submission, result in zip(chunk, batch.statements):
+            submission.ticket._resolve(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self._running else "stopped"
+        return (
+            f"ActiveViewServer({state}, shards={self.shard_count}, "
+            f"max_batch={self.max_batch}, activations={self.activations_published})"
+        )

@@ -17,12 +17,19 @@ experiments and produces the series behind each figure.
 
 from repro.workloads.parameters import PAPER_DEFAULTS, WorkloadParameters
 from repro.workloads.generator import HierarchyWorkload
-from repro.workloads.harness import ExperimentHarness, ExperimentPoint
+from repro.workloads.harness import (
+    ConcurrentRunResult,
+    ExperimentHarness,
+    ExperimentPoint,
+    run_concurrent_clients,
+)
 
 __all__ = [
     "PAPER_DEFAULTS",
+    "ConcurrentRunResult",
     "ExperimentHarness",
     "ExperimentPoint",
     "HierarchyWorkload",
     "WorkloadParameters",
+    "run_concurrent_clients",
 ]

@@ -24,6 +24,7 @@ from typing import Iterator, Sequence
 
 from repro.relational.database import Database
 from repro.relational.dml import DeleteStatement, InsertStatement, UpdateStatement
+from repro.relational.sharded import ShardedDatabase
 from repro.relational.schema import Column, ForeignKey, TableSchema
 from repro.relational.types import DataType
 from repro.xqgm.expressions import ColumnRef, Comparison, Constant
@@ -79,8 +80,29 @@ class HierarchyWorkload:
 
     def build_database(self) -> Database:
         """Create the relational schema and load the synthetic data."""
-        params = self.parameters
         database = Database(name=f"hier_d{self.depth}")
+        self._populate(database)
+        return database
+
+    def build_sharded_database(self, shard_count: int) -> ShardedDatabase:
+        """Create the same schema and data partitioned across ``shard_count`` shards.
+
+        Placement routes every row by its **top-level ancestor**
+        (:meth:`routing_key_fn`), so each top element's whole subtree — and
+        therefore each monitored XML node's entire join/grouping neighborhood
+        — lives on one shard.  This satisfies the view-closure contract of
+        :class:`~repro.relational.sharded.ShardedDatabase`: per-shard trigger
+        activations union to exactly the unsharded system's activations.
+        """
+        sharded = ShardedDatabase(
+            shard_count, name=f"hier_d{self.depth}", key_fn=self.routing_key_fn()
+        )
+        self._populate(sharded)
+        return sharded
+
+    def _populate(self, database: Database | ShardedDatabase) -> None:
+        """Create schema, indexes and data on a database (or sharded database)."""
+        params = self.parameters
         counts = self.nodes_per_level()
 
         # Top level
@@ -172,11 +194,42 @@ class HierarchyWorkload:
             )
         finally:
             database.enforce_foreign_keys = True
-        return database
 
     def top_name(self, top_id: int) -> str:
         """The ``name`` attribute value of a top-level element."""
         return f"name_{top_id}"
+
+    def top_ancestor(self, level: int, row_id: int) -> int:
+        """Top-level ancestor id of a row at hierarchy ``level``.
+
+        Rows are assigned to parents round-robin, so ancestry is arithmetic:
+        no table lookups are needed (the serving layer routes statements with
+        this, and the stream generators enumerate subtrees with it).
+        """
+        counts = self.nodes_per_level()
+        ancestor = row_id
+        while level > 0:
+            ancestor = ((ancestor - 1) % counts[level - 1]) + 1
+            level -= 1
+        return ancestor
+
+    def routing_key_fn(self):
+        """``(table, key) -> top ancestor id`` for shard placement and routing.
+
+        Returns a :data:`repro.relational.sharded.RoutingKeyFunction` mapping
+        every hierarchy row to the id of the top element whose subtree it
+        belongs to, so a :class:`~repro.relational.sharded.ShardRouter` keeps
+        whole subtrees (and thus whole XML nodes) on one shard.
+        """
+        levels = {self.level_table(level): level for level in range(self.depth)}
+
+        def key_fn(table: str, key: tuple | None):
+            level = levels.get(table)
+            if level is None or key is None:
+                return table
+            return self.top_ancestor(level, key[0])
+
+        return key_fn
 
     @property
     def target_top_id(self) -> int:
@@ -300,6 +353,73 @@ class HierarchyWorkload:
                 )
             )
         return statements
+
+    def leaf_ids_by_top(self) -> dict[int, list[int]]:
+        """Leaf ids grouped by their top-level ancestor (arithmetic, no DB scan)."""
+        counts = self.nodes_per_level()
+        grouped: dict[int, list[int]] = {top: [] for top in range(1, counts[0] + 1)}
+        for leaf_id in range(1, counts[-1] + 1):
+            grouped[self.top_ancestor(self.depth - 1, leaf_id)].append(leaf_id)
+        return grouped
+
+    def client_streams(
+        self,
+        clients: int,
+        updates_per_client: int,
+        *,
+        distinct_leaves: bool = True,
+    ) -> list[list[UpdateStatement]]:
+        """Conflict-free per-client update streams for the serving layer.
+
+        The top elements are dealt round-robin to the ``clients`` streams, and
+        each client's statements update leaf prices under *its own* tops only
+        — so two streams never touch the same row, the same monitored XML
+        node, or even the same subtree, which is the "conflict-free client
+        streams" premise of the concurrent-vs-sequential equivalence property.
+
+        With ``distinct_leaves=True`` (default) a client also never updates
+        the same leaf twice, so every statement causes its own distinct node
+        transition and activation payloads are comparable one-to-one against
+        a sequential run; ``updates_per_client`` is then capped by the number
+        of leaves a client owns.  With ``distinct_leaves=False`` the client
+        cycles its leaves, exercising repeated transitions of one node (the
+        per-node ordering tests rely on this).
+        """
+        if clients < 1:
+            raise ValueError("clients must be at least 1")
+        by_top = self.leaf_ids_by_top()
+        tops = sorted(by_top)
+        owned: list[list[list[int]]] = [[] for _ in range(clients)]
+        for position, top in enumerate(tops):
+            owned[position % clients].append(by_top[top])
+        table = self.level_table(self.depth - 1)
+        streams: list[list[UpdateStatement]] = []
+        for client, top_groups in enumerate(owned):
+            stream: list[UpdateStatement] = []
+            if not top_groups:
+                streams.append(stream)
+                continue
+            # Interleave the client's tops so consecutive statements touch
+            # different subtrees: spread streams exercise many shards instead
+            # of hammering one hot subtree (tops with many satisfied
+            # triggers would otherwise serialize the whole run behind one
+            # shard worker).
+            leaves: list[int] = []
+            round_index = 0
+            while any(round_index < len(group) for group in top_groups):
+                for group in top_groups:
+                    if round_index < len(group):
+                        leaves.append(group[round_index])
+                round_index += 1
+            count = min(updates_per_client, len(leaves)) if distinct_leaves else updates_per_client
+            for i in range(count):
+                leaf_id = leaves[i % len(leaves)]
+                new_price = round(5.0 + ((client * 131 + i * 37) % 1000) + 0.25, 2)
+                stream.append(
+                    UpdateStatement(table, {"price": new_price}, keys=[(leaf_id,)])
+                )
+            streams.append(stream)
+        return streams
 
     def insert_statements(self, count: int, database: Database) -> list[InsertStatement]:
         """INSERT statements adding new leaf rows under the target element."""

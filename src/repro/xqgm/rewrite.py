@@ -84,6 +84,13 @@ def _distinct_keys(keys_op: Operator, key_columns: Sequence[str]) -> Operator:
 
 
 def _semijoin_here(op: Operator, pairs: list[tuple[str, str]], keys_op: Operator) -> Operator:
+    """Apply the affected-key restriction as a semi-join directly above ``op``.
+
+    The fallback of :func:`_push` for operators the restriction cannot travel
+    through (table scans, anti/outer joins, non-column projections): join
+    ``op`` with the deduplicated keys and project the key columns away so the
+    operator's output schema is unchanged.
+    """
     equi = [(key_column, graph_column) for graph_column, key_column in pairs]
     join = JoinOp([keys_op, op], equi_pairs=equi, label="affected-key-semijoin")
     # Preserve the original operator's output columns (drop the key columns).
@@ -92,6 +99,14 @@ def _semijoin_here(op: Operator, pairs: list[tuple[str, str]], keys_op: Operator
 
 
 def _push(op: Operator, pairs: list[tuple[str, str]], keys_op: Operator) -> Operator:
+    """Recursively push the key restriction toward the scans it can reach.
+
+    ``pairs`` maps each graph column to the affected-key column restricting
+    it.  Selections, column-preserving projections, group-bys keyed on the
+    restricted columns, inner joins (including magic-set style propagation
+    through equi predicates to sibling inputs) and unions are traversed;
+    anything else semi-joins in place via :func:`_semijoin_here`.
+    """
     graph_columns = [graph_column for graph_column, _ in pairs]
     if not all(column in op.output_columns for column in graph_columns):
         raise XqgmError(
@@ -216,6 +231,7 @@ def compensate_old_aggregates(old_top: Operator, table: str) -> Operator | None:
         return old_top
 
     def transform(op: Operator, inputs: list[Operator]) -> Operator | None:
+        """Swap each rewritable GroupBy for its compensated construction."""
         if not isinstance(op, GroupByOp) or op.id not in applicable:
             return None
         return _compensated_groupby(op, inputs[0], table)
@@ -244,6 +260,7 @@ def _rewritable_groupbys(old_top: Operator, table: str) -> set[int] | None:
 
 
 def _reads_old_table(op: Operator, table: str) -> bool:
+    """Whether any scan below ``op`` reads the OLD variant of ``table``."""
     return any(
         isinstance(node, TableOp) and node.table == table and node.variant is TableVariant.OLD
         for node in walk(op)
@@ -254,6 +271,7 @@ def _with_variant(op: Operator, table: str, variant: TableVariant) -> Operator:
     """Clone ``op`` switching OLD scans of ``table`` to ``variant``."""
 
     def transform(node: Operator, inputs: list[Operator]) -> Operator | None:
+        """Rebuild matching OLD scans with the requested variant."""
         if isinstance(node, TableOp) and node.table == table and node.variant is TableVariant.OLD:
             return TableOp(node.table, node.alias, node.columns, variant, node.label)
         return None
@@ -369,6 +387,14 @@ def prune_columns(top: Operator, needed: Sequence[str]) -> Operator:
 
 
 def _prune(op: Operator, needed: list[str]) -> Operator:
+    """Rebuild ``op`` keeping only what ``needed`` (transitively) requires.
+
+    Each operator keeps the projections/aggregates whose names are needed,
+    folds the columns *they* reference into the requirement, and recurses.
+    Scans and constants are shared untouched (their columns are cheap); a
+    projection that would end up empty keeps one column so the operator
+    still produces rows.
+    """
     if isinstance(op, (TableOp, ConstantsOp)):
         return op
 
@@ -438,5 +464,6 @@ def _prune(op: Operator, needed: list[str]) -> Operator:
 
 
 def _merge_needed(needed: Sequence[str], extra: Sequence[str] | set[str], input_op: Operator) -> list[str]:
+    """Union two column requirements, restricted to what ``input_op`` produces."""
     merged = list(dict.fromkeys(list(needed) + list(extra)))
     return [column for column in merged if column in input_op.output_columns]

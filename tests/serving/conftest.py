@@ -1,0 +1,59 @@
+"""Shared helpers for the serving-layer tests: a sharded paper database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import Column, DataType, ForeignKey, ShardedDatabase, TableSchema
+
+from tests.conftest import PRODUCTS, VENDORS
+
+
+def by_product(table: str, key: tuple | None):
+    """Routing key: co-locate each product with all of its vendor rows.
+
+    This makes any sharding of the paper database *view-closed* for the
+    catalog view — a product node and its whole vendor group always live on
+    one shard (the contract documented in ``repro.relational.sharded``).
+    """
+    if table == "vendor" and key is not None:
+        return key[1]  # (vid, pid) -> pid
+    return key[0] if key is not None else table
+
+
+def build_sharded_paper_database(shard_count: int) -> ShardedDatabase:
+    """The Figure 2 product/vendor database partitioned by product."""
+    db = ShardedDatabase(shard_count, name="paper", key_fn=by_product)
+    db.create_table(
+        TableSchema(
+            "product",
+            [
+                Column("pid", DataType.TEXT, nullable=False),
+                Column("pname", DataType.TEXT, nullable=False),
+                Column("mfr", DataType.TEXT),
+            ],
+            primary_key=["pid"],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "vendor",
+            [
+                Column("vid", DataType.TEXT, nullable=False),
+                Column("pid", DataType.TEXT, nullable=False),
+                Column("price", DataType.REAL, nullable=False),
+            ],
+            primary_key=["vid", "pid"],
+            foreign_keys=[ForeignKey(("pid",), "product", ("pid",))],
+        )
+    )
+    db.load_rows("product", PRODUCTS)
+    db.load_rows("vendor", VENDORS)
+    db.create_index("vendor", ["pid"])
+    return db
+
+
+@pytest.fixture
+def sharded_paper_db() -> ShardedDatabase:
+    """Two-shard copy of the paper database, partitioned by product."""
+    return build_sharded_paper_database(2)

@@ -1,0 +1,122 @@
+"""Subscriber delivery semantics: per-node ordering, backpressure, at-least-once."""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+
+from repro.relational import UpdateStatement
+from repro.xmlmodel import serialize
+
+from tests.serving.test_server import build_server
+
+
+def test_per_node_activations_arrive_in_transition_order():
+    """One node's deliveries replay its transitions in submission order.
+
+    max_batch=1 forces one activation per update; the NEW_NODE payloads for
+    the monitored node must then show the updated price in exactly the order
+    the client submitted — any reordering (or loss) breaks the sequence.
+    """
+    server, _ = build_server(max_batch=1)
+    subscriber = server.subscribe("ordered", capacity=64)
+    prices = [50.0, 60.0, 70.0, 80.0, 90.0]
+    with server:
+        for price in prices:
+            server.execute(UpdateStatement("vendor", {"price": price}, keys=[("Amazon", "P1")]))
+    activations = [a for a in subscriber.drain() if a.key == ("CRT 15",)]
+    assert len(activations) == len(prices)
+    sequences = [a.sequence for a in activations]
+    assert sequences == sorted(sequences)
+    assert len({a.shard for a in activations}) == 1  # one node -> one shard
+    observed = [
+        float(re.search(r"<vid>Amazon</vid><price>([0-9.]+)</price>",
+                        serialize(a.new_node)).group(1))
+        for a in activations
+    ]
+    assert observed == prices
+
+
+def test_slow_consumer_backpressure_loses_nothing():
+    """A tiny bounded queue + slow consumer: every activation still arrives, in order."""
+    server, _ = build_server(max_batch=1)
+    subscriber = server.subscribe("slow", capacity=2)
+    consumed: list = []
+    done = threading.Event()
+
+    def consumer() -> None:
+        while True:
+            activation = subscriber.poll(timeout=0.02)
+            if activation is not None:
+                consumed.append(activation)
+                time.sleep(0.01)  # slower than the producer
+                continue
+            if done.is_set():
+                return
+
+    thread = threading.Thread(target=consumer, daemon=True)
+    thread.start()
+    updates = 12
+    with server:
+        for i in range(updates):
+            server.execute(UpdateStatement("vendor", {"price": 50.0 + i}, keys=[("Amazon", "P1")]))
+    done.set()
+    thread.join(timeout=10)
+    consumed.extend(subscriber.drain())
+    assert len(consumed) == updates == subscriber.delivered
+    assert subscriber.abandoned == 0
+    assert [a.sequence for a in consumed] == sorted(a.sequence for a in consumed)
+
+
+def test_every_subscriber_receives_every_activation():
+    server, _ = build_server()
+    first = server.subscribe("a", capacity=32)
+    second = server.subscribe("b", capacity=32)
+    with server:
+        for i in range(4):
+            server.execute(UpdateStatement("vendor", {"price": 60.0 + i}, keys=[("Amazon", "P1")]))
+    keys_first = [(a.trigger, a.key, a.sequence) for a in first.drain()]
+    keys_second = [(a.trigger, a.key, a.sequence) for a in second.drain()]
+    assert keys_first == keys_second and len(keys_first) == 4
+
+
+def test_closed_subscriber_stops_receiving_without_blocking_workers():
+    server, _ = build_server()
+    subscriber = server.subscribe("leaver", capacity=1)
+    with server:
+        server.execute(UpdateStatement("vendor", {"price": 61.0}, keys=[("Amazon", "P1")]))
+        server.unsubscribe(subscriber)
+        # The queue is full (capacity 1) and nobody consumes: if close did not
+        # detach, this execute would deadlock the shard worker.
+        server.execute(UpdateStatement("vendor", {"price": 62.0}, keys=[("Amazon", "P1")]))
+    assert subscriber.delivered == 1
+
+
+def test_forced_stop_accounts_abandoned_deliveries():
+    server, _ = build_server(max_batch=1)
+    subscriber = server.subscribe("full", capacity=1)
+    server.start()
+    tickets = [
+        server.submit(UpdateStatement("vendor", {"price": 60.0 + i}, keys=[("Amazon", "P1")]))
+        for i in range(3)
+    ]
+    # Wait until the first activation fills the queue and the worker blocks.
+    deadline = time.time() + 5
+    while subscriber.delivered < 1 and time.time() < deadline:
+        time.sleep(0.005)
+    server.stop(drain=False)
+    del tickets
+    assert subscriber.delivered >= 1
+    # Whatever was produced beyond the queue capacity was abandoned, and the
+    # subscriber knows it happened (no silent loss even on a forced stop).
+    assert subscriber.delivered + subscriber.abandoned == server.activations_published
+
+
+def test_iteration_ends_when_closed_and_empty():
+    server, _ = build_server()
+    subscriber = server.subscribe("iter", capacity=8)
+    with server:
+        server.execute(UpdateStatement("vendor", {"price": 63.0}, keys=[("Amazon", "P1")]))
+    subscriber.close()
+    assert [a.trigger for a in subscriber] == ["Crt"]

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Docs drift check: execute every Python code block in the documentation.
+
+The documentation's examples are part of the public-API contract: if a rename
+or behaviour change breaks a snippet, this script fails and CI goes red.
+Within one file, code blocks run top to bottom in one shared namespace (later
+blocks may use names defined by earlier ones), exactly as a reader following
+along would execute them; each file gets a fresh namespace.
+
+By default the script checks ``README.md`` plus every ``docs/*.md`` file.
+Files without Python blocks are reported and skipped (architecture diagrams
+and benchmark guides are prose); a file passed *explicitly* on the command
+line must contain at least one block, so a typo'd path cannot silently pass.
+
+Usage:  PYTHONPATH=src python tools/check_docs.py [path-to-markdown ...]
+Exits non-zero on the first failing block, printing the block and the error.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+_BLOCK = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def default_targets() -> list[pathlib.Path]:
+    """README.md plus docs/*.md, in a stable order."""
+    targets = [_REPO_ROOT / "README.md"]
+    targets.extend(sorted((_REPO_ROOT / "docs").glob("*.md")))
+    return targets
+
+
+def run_file(path: pathlib.Path, *, require_blocks: bool) -> int:
+    """Execute one markdown file's Python blocks; returns a process status."""
+    text = path.read_text(encoding="utf-8")
+    blocks = [match.group(1) for match in _BLOCK.finditer(text)]
+    if not blocks:
+        if require_blocks:
+            print(f"{path}: no python code blocks found", file=sys.stderr)
+            return 1
+        print(f"skip {path} (no python code blocks)")
+        return 0
+    namespace: dict = {"__name__": f"docs_block::{path.name}"}
+    for index, block in enumerate(blocks, start=1):
+        try:
+            exec(compile(block, f"{path}:block{index}", "exec"), namespace)
+        except Exception as error:  # noqa: BLE001 - report and fail
+            print(f"FAIL {path} block {index}: {type(error).__name__}: {error}",
+                  file=sys.stderr)
+            print("----- block source -----", file=sys.stderr)
+            print(block.strip(), file=sys.stderr)
+            print("------------------------", file=sys.stderr)
+            return 1
+        print(f"ok   {path} block {index} ({len(block.splitlines())} lines)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    explicit = bool(argv)
+    targets = [pathlib.Path(arg) for arg in argv] or default_targets()
+    for target in targets:
+        status = run_file(target, require_blocks=explicit)
+        if status:
+            return status
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
