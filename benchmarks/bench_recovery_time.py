@@ -1,0 +1,149 @@
+"""Recovery time: linear in WAL length, bounded by snapshots.
+
+Crash recovery (`repro.persist.recovery`) is a fold over the durable files:
+restore the latest snapshot, then replay the WAL records beyond it.  Two
+properties matter operationally and are measured here:
+
+* **Replay is linear in WAL length** — each record applies a net row delta
+  in O(delta) time, so a WAL holding 4x the records takes ~4x as long (plus
+  a constant open/restore term).
+* **Snapshots bound recovery** — an update-heavy workload grows the WAL
+  without growing the table, so recovery from a long WAL costs much more
+  than recovery from the snapshot that supersedes it.  Snapshotting
+  truncates the WAL, turning O(history) recovery into O(live data).
+
+Run with pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_recovery_time.py -q
+
+or standalone (also asserts the snapshot bound)::
+
+    PYTHONPATH=src python -m benchmarks.bench_recovery_time
+"""
+
+import pathlib
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.persist import Snapshot, recover_database
+from repro.persist.recovery import SNAPSHOT_FILE, WAL_FILE
+from repro.persist.wal import WriteAheadLog
+from repro.relational import Column, DataType, Database, TableSchema
+from repro.relational.dml import UpdateStatement
+
+#: Rows in the (fixed-size) table; the WAL grows with updates, not rows.
+TABLE_ROWS = 1_000
+
+WAL_LENGTHS = [500, 2_000, 8_000]
+
+
+def _build_history(directory: pathlib.Path, updates: int) -> tuple[Database, int]:
+    """A fixed-size table plus ``updates`` logged UPDATE records.
+
+    Returns the live database and the WAL's final LSN (needed to checkpoint
+    without replaying the log just to learn the position).
+    """
+    database = Database("recovery-bench")
+    wal = WriteAheadLog(directory / WAL_FILE, sync="none")
+    wal.attach(database)
+    database.create_table(
+        TableSchema(
+            "counters",
+            [Column("k", DataType.INTEGER, nullable=False),
+             Column("v", DataType.INTEGER, nullable=False)],
+            primary_key=["k"],
+        )
+    )
+    database.load_rows("counters", [{"k": key, "v": 0} for key in range(TABLE_ROWS)])
+    for step in range(updates):
+        database.execute(
+            UpdateStatement("counters", {"v": step}, keys=[(step % TABLE_ROWS,)])
+        )
+    wal.close()
+    return database, wal.last_lsn
+
+
+def _time_recovery(directory: pathlib.Path) -> tuple[float, Database]:
+    started = time.perf_counter()
+    database, wal = recover_database(directory)
+    elapsed = time.perf_counter() - started
+    wal.close()
+    return elapsed, database
+
+
+@pytest.mark.parametrize("updates", WAL_LENGTHS)
+def test_recovery_scales_with_wal_length(benchmark, updates, tmp_path):
+    """Replay cost grows with the number of logged records."""
+    benchmark.group = "recovery-time"
+    benchmark.extra_info["wal_records"] = updates
+    directory = tmp_path / f"wal{updates}"
+    original, _ = _build_history(directory, updates)
+
+    def recover():
+        elapsed, database = _time_recovery(directory)
+        return database
+
+    database = benchmark.pedantic(recover, rounds=5, iterations=1, warmup_rounds=1)
+    assert database.snapshot() == original.snapshot()
+
+
+def test_snapshot_bounds_recovery(tmp_path):
+    """Snapshot + truncate beats replaying the full history, same final state."""
+    updates = WAL_LENGTHS[-1]
+    directory = tmp_path / "node"
+    original, last_lsn = _build_history(directory, updates)
+
+    long_wal_seconds, recovered = _time_recovery(directory)
+    assert recovered.snapshot() == original.snapshot()
+
+    # Checkpoint: snapshot the state, truncate the WAL behind it.
+    Snapshot.capture(original, wal_lsn=last_lsn).write(directory / SNAPSHOT_FILE)
+    wal = WriteAheadLog(directory / WAL_FILE, sync="none")
+    wal.truncate()
+    wal.close()
+
+    best_snapshot_seconds = min(_time_recovery(directory)[0] for _ in range(3))
+    _, from_snapshot = _time_recovery(directory)
+    assert from_snapshot.snapshot() == original.snapshot()
+    assert best_snapshot_seconds < long_wal_seconds, (
+        f"snapshot recovery ({best_snapshot_seconds * 1000:.1f} ms) not faster than "
+        f"full-WAL recovery ({long_wal_seconds * 1000:.1f} ms)"
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(f"table: {TABLE_ROWS} rows (fixed); WAL grows with update count")
+    times = {}
+    for updates in WAL_LENGTHS:
+        directory = pathlib.Path(tempfile.mkdtemp(prefix="recovery-bench-"))
+        try:
+            _build_history(directory, updates)
+            times[updates] = min(_time_recovery(directory)[0] for _ in range(3))
+            print(f"  {updates:>6} WAL records: recovery {times[updates] * 1000:8.1f} ms")
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    directory = pathlib.Path(tempfile.mkdtemp(prefix="recovery-bench-"))
+    try:
+        original, last_lsn = _build_history(directory, WAL_LENGTHS[-1])
+        long_wal = min(_time_recovery(directory)[0] for _ in range(3))
+        Snapshot.capture(original, wal_lsn=last_lsn).write(directory / SNAPSHOT_FILE)
+        wal = WriteAheadLog(directory / WAL_FILE, sync="none")
+        wal.truncate()
+        wal.close()
+        snap = min(_time_recovery(directory)[0] for _ in range(3))
+        print(
+            f"  snapshot bound: full-WAL {long_wal * 1000:8.1f} ms  ->  "
+            f"after snapshot {snap * 1000:8.1f} ms  ({long_wal / max(snap, 1e-9):4.1f}x faster)"
+        )
+        assert snap < long_wal
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    print("snapshot-bound assertion: OK")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -148,6 +148,20 @@ class PlanCache:
         with self._lock:
             return len(self._plans)
 
+    def invalidate_view(self, view: str) -> int:
+        """Drop every cached plan compiled for ``view``; returns the count.
+
+        Plan keys are ``(view, path, event, option fingerprint)`` tuples, so
+        a dropped view's plans can be evicted without touching the others.
+        On a cache shared across shard services the eviction is global — the
+        next ``create_trigger`` for a re-registered view simply recompiles.
+        """
+        with self._lock:
+            doomed = [key for key in self._plans if key[0] == view]
+            for key in doomed:
+                del self._plans[key]
+            return len(doomed)
+
 
 class ActiveViewService:
     """Middleware exposing active (trigger-enabled) XML views of relational data.
@@ -197,6 +211,10 @@ class ActiveViewService:
         self.plan_cache_misses = 0
         self._fired: list[FiredTrigger] = []
         self._listeners: list[Callable[[FiredTrigger], None]] = []
+        # DDL listeners observe registry changes (view registration, trigger
+        # creation/drop) so the persistence layer can log them for registry
+        # rehydration after a restart (see repro.persist).
+        self._ddl_listeners: list[Callable[[str, Any], None]] = []
         self._sql_trigger_counter = 0
         self.last_compile_seconds = 0.0
 
@@ -212,6 +230,30 @@ class ActiveViewService:
                     f"view {view.name!r} references unknown table {table!r}"
                 )
         self._views[view.name] = view
+        self._emit_ddl("register_view", view.name)
+
+    def drop_view(self, name: str) -> None:
+        """Unregister a view, dropping its triggers and cached plans.
+
+        Mirrors :meth:`~repro.relational.database.Database.drop_table`'s
+        cascade: every XML trigger monitoring the view is dropped (their SQL
+        triggers uninstall when the groups empty), the composed path graphs
+        are forgotten, and the plan cache evicts every plan compiled for the
+        view — so re-registering a changed view under the same name can never
+        serve stale compiled plans.
+        """
+        if name not in self._views:
+            raise TriggerError(f"unknown view {name!r}")
+        for trigger_name in [
+            spec.name for spec in self._triggers.values() if spec.view == name
+        ]:
+            self.drop_trigger(trigger_name)
+        del self._views[name]
+        self._path_graphs = {
+            key: graph for key, graph in self._path_graphs.items() if key[0] != name
+        }
+        self._plan_cache.invalidate_view(name)
+        self._emit_ddl("drop_view", name)
 
     def register_action(self, name: str, function: Callable[..., Any]) -> None:
         """Register an external action function callable from trigger actions."""
@@ -233,6 +275,28 @@ class ActiveViewService:
             self._listeners.remove(listener)
         except ValueError:
             pass
+
+    def add_ddl_listener(self, listener: Callable[[str, Any], None]) -> None:
+        """Register a hook observing registry DDL, for durability logging.
+
+        The listener is called as ``listener(kind, payload)`` with
+        ``("register_view", name)``, ``("drop_view", name)``,
+        ``("create_trigger", TriggerSpec)``, and ``("drop_trigger", name)``
+        events, in the order they commit.  :class:`repro.persist` appends
+        these to a DDL log so the registry can be rehydrated after a restart.
+        """
+        self._ddl_listeners.append(listener)
+
+    def remove_ddl_listener(self, listener: Callable[[str, Any], None]) -> None:
+        """Remove a previously registered DDL listener (idempotent)."""
+        try:
+            self._ddl_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit_ddl(self, kind: str, payload: Any) -> None:
+        for listener in self._ddl_listeners:
+            listener(kind, payload)
 
     def view(self, name: str) -> ViewDefinition:
         """Look up a registered view."""
@@ -279,6 +343,7 @@ class ActiveViewService:
         self._triggers[spec.name] = spec
         self.last_compile_seconds = time.perf_counter() - started
         compiled.compile_seconds += self.last_compile_seconds
+        self._emit_ddl("create_trigger", spec)
         return spec
 
     def drop_trigger(self, name: str) -> None:
@@ -289,6 +354,7 @@ class ActiveViewService:
         signature = self._group_signature(spec)
         compiled = self._groups.get(signature)
         if compiled is None:
+            self._emit_ddl("drop_trigger", name)
             return
         compiled.group.remove(name)
         compiled.invalidate_constants()
@@ -296,6 +362,7 @@ class ActiveViewService:
             for sql_name in compiled.sql_trigger_names:
                 self.database.drop_trigger(sql_name)
             del self._groups[signature]
+        self._emit_ddl("drop_trigger", name)
 
     def generated_sql(self, trigger_name: str) -> list[str]:
         """The SQL text of the statement triggers generated for an XML trigger."""

@@ -20,6 +20,8 @@ __all__ = [
     "ShardRoutingError",
     "ServingError",
     "ServerStoppedError",
+    "PersistenceError",
+    "RecoveryError",
     "SqlError",
     "SqlSyntaxError",
     "SqlPlanError",
@@ -96,6 +98,19 @@ class ServingError(ReproError):
 
 class ServerStoppedError(ServingError):
     """A statement was submitted to a server that is not running."""
+
+
+# ---------------------------------------------------------------------------
+# Durability / persistence
+# ---------------------------------------------------------------------------
+
+
+class PersistenceError(ReproError):
+    """Base class for errors raised by the durability layer (``repro.persist``)."""
+
+
+class RecoveryError(PersistenceError):
+    """Snapshot + WAL recovery could not rebuild a consistent engine state."""
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,185 @@
+"""Binary-safe value codec for WAL records, snapshots, and outbox entries.
+
+Durable files must survive a process restart byte-for-byte, so the codec is
+deliberately *not* pickle: decoding never executes code, the format is
+self-describing and versioned by construction (one tag byte per value), and
+the exact byte layout is documented in ``docs/persistence.md`` so a record
+can be inspected with a hex dump.
+
+Supported values are exactly what the engine stores and the log needs:
+``None``, ``bool``, ``int`` (arbitrary precision), ``float``, ``str``,
+``bytes``, ``tuple``, ``list``, and ``dict`` (any encodable keys).  Rows are
+tuples of scalars; records are dicts at the top level.
+
+Layout, one tag byte then the payload:
+
+====  =======  ==================================================
+tag   type     payload
+====  =======  ==================================================
+``N`` None     (empty)
+``T`` True     (empty)
+``F`` False    (empty)
+``i`` int      varint byte length, then ASCII decimal digits
+``f`` float    8 bytes, IEEE-754 big-endian (``struct '>d'``)
+``s`` str      varint byte length, then UTF-8 bytes
+``b`` bytes    varint byte length, then the raw bytes
+``t`` tuple    varint item count, then each item
+``l`` list     varint item count, then each item
+``d`` dict     varint pair count, then key/value alternating
+====  =======  ==================================================
+
+``varint`` is unsigned LEB128 (7 bits per byte, high bit = continue).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import PersistenceError
+
+__all__ = ["encode_value", "decode_value"]
+
+_FLOAT = struct.Struct(">d")
+
+
+def _encode_varint(value: int, out: bytearray) -> None:
+    if value < 0:  # pragma: no cover - internal misuse guard
+        raise PersistenceError("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise PersistenceError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(ord("N"))
+    elif value is True:
+        out.append(ord("T"))
+    elif value is False:
+        out.append(ord("F"))
+    elif isinstance(value, int):
+        digits = str(value).encode("ascii")
+        out.append(ord("i"))
+        _encode_varint(len(digits), out)
+        out.extend(digits)
+    elif isinstance(value, float):
+        out.append(ord("f"))
+        out.extend(_FLOAT.pack(value))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(ord("s"))
+        _encode_varint(len(encoded), out)
+        out.extend(encoded)
+    elif isinstance(value, bytes):
+        out.append(ord("b"))
+        _encode_varint(len(value), out)
+        out.extend(value)
+    elif isinstance(value, tuple):
+        out.append(ord("t"))
+        _encode_varint(len(value), out)
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, list):
+        out.append(ord("l"))
+        _encode_varint(len(value), out)
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        out.append(ord("d"))
+        _encode_varint(len(value), out)
+        for key, item in value.items():
+            _encode(key, out)
+            _encode(item, out)
+    else:
+        raise PersistenceError(
+            f"cannot encode value of type {type(value).__name__}: {value!r}"
+        )
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode a value to its binary representation."""
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def _decode(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise PersistenceError("truncated value")
+    tag = data[offset]
+    offset += 1
+    if tag == ord("N"):
+        return None, offset
+    if tag == ord("T"):
+        return True, offset
+    if tag == ord("F"):
+        return False, offset
+    if tag == ord("i"):
+        length, offset = _decode_varint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise PersistenceError("truncated int")
+        return int(data[offset:end].decode("ascii")), end
+    if tag == ord("f"):
+        end = offset + 8
+        if end > len(data):
+            raise PersistenceError("truncated float")
+        return _FLOAT.unpack_from(data, offset)[0], end
+    if tag == ord("s"):
+        length, offset = _decode_varint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise PersistenceError("truncated str")
+        return data[offset:end].decode("utf-8"), end
+    if tag == ord("b"):
+        length, offset = _decode_varint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise PersistenceError("truncated bytes")
+        return data[offset:end], end
+    if tag in (ord("t"), ord("l")):
+        count, offset = _decode_varint(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode(data, offset)
+            items.append(item)
+        return (tuple(items) if tag == ord("t") else items), offset
+    if tag == ord("d"):
+        count, offset = _decode_varint(data, offset)
+        result = {}
+        for _ in range(count):
+            key, offset = _decode(data, offset)
+            value, offset = _decode(data, offset)
+            result[key] = value
+        return result, offset
+    raise PersistenceError(f"unknown codec tag {tag:#04x} at offset {offset - 1}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode a value previously produced by :func:`encode_value`."""
+    value, offset = _decode(data, 0)
+    if offset != len(data):
+        raise PersistenceError(
+            f"{len(data) - offset} trailing bytes after decoded value"
+        )
+    return value

@@ -1,0 +1,160 @@
+"""Conversions between engine objects and codec-encodable log records.
+
+Everything the durability layer writes is a plain dict of scalars, lists and
+dicts (see :mod:`repro.persist.codec`); this module is the single place that
+knows how engine objects map onto those records, so the WAL, the snapshot,
+and the outbox all share one vocabulary:
+
+* table schemas ↔ ``{"name", "columns", "primary_key", "foreign_keys",
+  "unique"}``;
+* net coalesced deltas ↔ ``{"table", "event", "inserted", "deleted"}`` with
+  rows as value lists in schema column order;
+* XML trigger specs ↔ their declarative fields (name, event, view, path,
+  condition text, action call) — the whole translation pipeline re-derives
+  SQL triggers, groups, and constants tables from these at recovery;
+* activations ↔ scalars plus the OLD/NEW nodes serialized as XML text
+  (re-parsed on redelivery).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.trigger import TriggerSpec
+from repro.relational.dml import CoalescedDelta
+from repro.relational.schema import Column, ForeignKey, TableSchema, UniqueConstraint
+from repro.relational.types import DataType
+from repro.relational.triggers import TriggerEvent
+from repro.serving.subscribers import Activation
+from repro.xmlmodel.parse import parse_xml
+from repro.xmlmodel.serialize import serialize
+
+__all__ = [
+    "schema_to_record",
+    "schema_from_record",
+    "rows_to_lists",
+    "delta_to_record",
+    "spec_to_record",
+    "spec_from_record",
+    "activation_to_record",
+    "activation_from_record",
+]
+
+
+# ------------------------------------------------------------------ schemas
+
+
+def schema_to_record(schema: TableSchema) -> dict:
+    """Serialize a table schema (columns, keys, constraints)."""
+    return {
+        "name": schema.name,
+        "columns": [
+            [column.name, column.dtype.value, column.nullable]
+            for column in schema.columns
+        ],
+        "primary_key": list(schema.primary_key),
+        "foreign_keys": [
+            [list(fk.columns), fk.parent_table, list(fk.parent_columns)]
+            for fk in schema.foreign_keys
+        ],
+        "unique": [list(constraint.columns) for constraint in schema.unique_constraints],
+    }
+
+
+def schema_from_record(record: dict) -> TableSchema:
+    """Rebuild a table schema from its record."""
+    return TableSchema(
+        record["name"],
+        [
+            Column(name, DataType(dtype), nullable)
+            for name, dtype, nullable in record["columns"]
+        ],
+        primary_key=record["primary_key"] or None,
+        foreign_keys=[
+            ForeignKey(tuple(columns), parent, tuple(parent_columns))
+            for columns, parent, parent_columns in record["foreign_keys"]
+        ],
+        unique=[UniqueConstraint(tuple(columns)) for columns in record["unique"]],
+    )
+
+
+# ------------------------------------------------------------------ deltas
+
+
+def rows_to_lists(rows: Iterable[Sequence[Any]]) -> list[list[Any]]:
+    """Rows as plain value lists (schema column order)."""
+    return [list(row) for row in rows]
+
+
+def delta_to_record(delta: CoalescedDelta) -> dict:
+    """Serialize one net (table, event) delta slice."""
+    return {
+        "table": delta.table,
+        "event": delta.event,
+        "inserted": rows_to_lists(delta.inserted.rows),
+        "deleted": rows_to_lists(delta.deleted.rows),
+    }
+
+
+# ------------------------------------------------------------------ trigger specs
+
+
+def spec_to_record(spec: TriggerSpec) -> dict:
+    """Serialize an XML trigger spec's declarative fields."""
+    return {
+        "name": spec.name,
+        "event": spec.event.value,
+        "view": spec.view,
+        "path": list(spec.path),
+        "condition": spec.condition,
+        "action_name": spec.action_name,
+        "action_args": list(spec.action_args),
+        "source": spec.source,
+    }
+
+
+def spec_from_record(record: dict) -> TriggerSpec:
+    """Rebuild a trigger spec; ``create_trigger`` re-derives everything else."""
+    return TriggerSpec(
+        name=record["name"],
+        event=TriggerEvent(record["event"]),
+        view=record["view"],
+        path=tuple(record["path"]),
+        condition=record["condition"],
+        action_name=record["action_name"],
+        action_args=tuple(record["action_args"]),
+        source=record["source"],
+    )
+
+
+# ------------------------------------------------------------------ activations
+
+
+def activation_to_record(activation: Activation) -> dict:
+    """Serialize an activation; OLD/NEW nodes become XML text."""
+    return {
+        "shard": activation.shard,
+        "sequence": activation.sequence,
+        "trigger": activation.trigger,
+        "view": activation.view,
+        "path": list(activation.path),
+        "event": activation.event.value,
+        "key": list(activation.key),
+        "old": serialize(activation.old_node) if activation.old_node is not None else None,
+        "new": serialize(activation.new_node) if activation.new_node is not None else None,
+    }
+
+
+def activation_from_record(record: dict) -> Activation:
+    """Rebuild an activation, re-parsing the serialized nodes."""
+    return Activation(
+        shard=record["shard"],
+        sequence=record["sequence"],
+        trigger=record["trigger"],
+        view=record["view"],
+        path=tuple(record["path"]),
+        event=TriggerEvent(record["event"]),
+        key=tuple(record["key"]),
+        old_node=parse_xml(record["old"]) if record["old"] is not None else None,
+        new_node=parse_xml(record["new"]) if record["new"] is not None else None,
+    )

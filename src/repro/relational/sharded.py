@@ -273,6 +273,31 @@ class ShardedDatabase:
         for shard in self.shards:
             shard.enforce_foreign_keys = value
 
+    # ------------------------------------------------------------------ durability hooks
+
+    def add_commit_listener(self, listener) -> list:
+        """Observe committed changes on every shard, tagged with the shard index.
+
+        ``listener(shard_index, kind, payload)`` receives the same
+        ``(kind, payload)`` events as
+        :meth:`~repro.relational.database.Database.add_commit_listener`, one
+        stream per shard — this is how :class:`repro.persist.DurableServer`
+        maintains one write-ahead log per shard.  Returns the per-shard
+        wrapper callables (pass them to :meth:`remove_commit_listeners`).
+        """
+        wrappers = []
+        for index, shard in enumerate(self.shards):
+            def wrapper(kind, payload, _index=index):
+                listener(_index, kind, payload)
+            shard.add_commit_listener(wrapper)
+            wrappers.append(wrapper)
+        return wrappers
+
+    def remove_commit_listeners(self, wrappers: Sequence) -> None:
+        """Detach wrappers previously returned by :meth:`add_commit_listener`."""
+        for shard, wrapper in zip(self.shards, wrappers):
+            shard.remove_commit_listener(wrapper)
+
     # ------------------------------------------------------------------ loading
 
     def load_rows(

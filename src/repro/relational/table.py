@@ -119,6 +119,10 @@ class Table:
         """Names of all indexes on this table."""
         return list(self._indexes)
 
+    def index_definitions(self) -> list[tuple[str, tuple[str, ...]]]:
+        """``(name, columns)`` for every index (used by persistence snapshots)."""
+        return [(name, columns) for name, (columns, _) in self._indexes.items()]
+
     def _index_for(self, columns: Sequence[str]):
         target = tuple(columns)
         for cols, mapping in self._indexes.values():

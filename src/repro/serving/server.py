@@ -187,6 +187,10 @@ class ActiveViewServer:
         ]
         self.stats: list[ShardStats] = [ShardStats() for _ in database.shards]
         self._sequences: list[int] = [0] * database.shard_count
+        # Activation hooks run on the producing shard's worker thread BEFORE
+        # subscriber fan-out — the durable outbox appends here, so a delivery
+        # can never precede its durable record (see repro.persist.outbox).
+        self._activation_hooks: list[Callable[[Activation], None]] = []
         self._subscribers: list[Subscriber] = []
         self._subscribers_lock = threading.Lock()
         self._threads: list[threading.Thread] = []
@@ -237,6 +241,15 @@ class ActiveViewServer:
         for service in self.services:
             service.drop_trigger(name)
 
+    def drop_view(self, name: str) -> None:
+        """Drop a view (and its triggers) from every shard service.
+
+        The shared plan cache evicts the view's compiled plans once; see
+        :meth:`~repro.core.service.ActiveViewService.drop_view`.
+        """
+        for service in self.services:
+            service.drop_view(name)
+
     @property
     def triggers(self) -> list[TriggerSpec]:
         """The registered XML trigger specs (identical on every shard)."""
@@ -247,9 +260,23 @@ class ActiveViewServer:
     def subscribe(self, name: str | None = None, capacity: int = 256) -> Subscriber:
         """Attach a bounded activation subscriber (see :mod:`repro.serving.subscribers`)."""
         with self._subscribers_lock:
+            # Name generation and append share one critical section so
+            # concurrent anonymous subscribers never collide on a name.
             subscriber = Subscriber(name or f"subscriber{len(self._subscribers) + 1}", capacity)
             self._subscribers.append(subscriber)
             return subscriber
+
+    def attach_subscriber(self, subscriber: Subscriber) -> Subscriber:
+        """Attach an already-built subscriber to live delivery.
+
+        Exists so a caller can pre-fill the subscriber's queue *before* live
+        fan-out can interleave — the durable serving layer enqueues a
+        recovered backlog first, preserving per-shard order across the
+        attach (see :meth:`repro.persist.DurableServer.subscribe`).
+        """
+        with self._subscribers_lock:
+            self._subscribers.append(subscriber)
+        return subscriber
 
     def unsubscribe(self, subscriber: Subscriber) -> None:
         """Close a subscriber and detach it from delivery."""
@@ -257,6 +284,40 @@ class ActiveViewServer:
         with self._subscribers_lock:
             if subscriber in self._subscribers:
                 self._subscribers.remove(subscriber)
+
+    def add_activation_hook(self, hook: Callable[[Activation], None]) -> None:
+        """Register a hook invoked with every :class:`Activation` before fan-out.
+
+        Hooks run synchronously on the producing shard's worker thread, after
+        the trigger's action but before any subscriber receives the
+        activation.  The persistence layer uses this ordering guarantee to
+        append each activation to a durable outbox before delivery, making
+        accepted-but-undelivered activations recoverable after a crash.
+        """
+        self._activation_hooks.append(hook)
+
+    def remove_activation_hook(self, hook: Callable[[Activation], None]) -> None:
+        """Remove a previously registered activation hook (idempotent)."""
+        try:
+            self._activation_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def seed_sequences(self, sequences: Sequence[int]) -> None:
+        """Restore per-shard activation sequence counters (recovery startup).
+
+        A recovered server must continue numbering where the crashed process
+        stopped, so that ``(shard, sequence)`` remains a total order per shard
+        across restarts and durable subscriber cursors stay meaningful.  Only
+        call this before :meth:`start`.
+        """
+        if len(sequences) != self.shard_count:
+            raise ServingError(
+                f"expected {self.shard_count} sequence seeds, got {len(sequences)}"
+            )
+        if self._running:
+            raise ServingError("cannot seed sequences on a running server")
+        self._sequences = [int(value) for value in sequences]
 
     def _make_listener(self, shard: int) -> Callable[[FiredTrigger], None]:
         def listener(fired: FiredTrigger) -> None:
@@ -274,6 +335,8 @@ class ActiveViewServer:
                 old_node=fired.old_node,
                 new_node=fired.new_node,
             )
+            for hook in self._activation_hooks:
+                hook(activation)
             with self._subscribers_lock:
                 targets = [s for s in self._subscribers if not s.closed]
             for subscriber in targets:
@@ -395,6 +458,11 @@ class ActiveViewServer:
     def activations_published(self) -> int:
         """Total activations produced across shards."""
         return sum(self._sequences)
+
+    @property
+    def sequences(self) -> list[int]:
+        """Current per-shard activation sequence counters (copy)."""
+        return list(self._sequences)
 
     def clear_logs(self) -> None:
         """Forget recorded firings and action calls on every shard service."""

@@ -74,6 +74,11 @@ class Subscriber:
         #: Deliveries abandoned because the subscriber (or the server) was
         #: closed while its queue was full — 0 in any graceful shutdown.
         self.abandoned = 0
+        #: Highest acknowledged sequence per shard (see :meth:`ack`).
+        self._acked: dict[int, int] = {}
+        #: Optional hook ``(name, shard, sequence)`` invoked on each ack —
+        #: set by the durable serving layer to persist the cursor.
+        self.on_ack: Callable[[str, int, int], None] | None = None
 
     # ------------------------------------------------------------------ consumer
 
@@ -110,6 +115,29 @@ class Subscriber:
             except queue.Empty:
                 if self.closed:
                     return
+
+    def ack(self, activation: Activation) -> None:
+        """Acknowledge an activation as fully processed.
+
+        Acking advances this subscriber's per-shard cursor to the
+        activation's sequence; because one shard's activations are consumed
+        in sequence order, the cursor marks a *prefix* of that shard's stream
+        as done.  Under a durable server the cursor is persisted (via
+        :attr:`on_ack`), and after a restart only activations *beyond* it are
+        redelivered — consume first, then ack, and the stream is
+        at-least-once across crashes.  Without durability, ack is merely
+        bookkeeping (:attr:`acked`).
+        """
+        current = self._acked.get(activation.shard, 0)
+        if activation.sequence > current:
+            self._acked[activation.shard] = activation.sequence
+        if self.on_ack is not None:
+            self.on_ack(self.name, activation.shard, activation.sequence)
+
+    @property
+    def acked(self) -> dict[int, int]:
+        """Highest acknowledged sequence per shard (copy)."""
+        return dict(self._acked)
 
     def close(self) -> None:
         """Detach from the server; pending activations stay readable."""

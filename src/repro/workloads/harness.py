@@ -72,6 +72,9 @@ class ExperimentSetup:
     baseline: MaterializedBaseline | None
     collected: list
     statements: list[Statement] = field(default_factory=list)
+    #: Attached write-ahead log when the harness was built with durability on
+    #: (``build_setup(..., durable_dir=...)``); ``None`` otherwise.
+    wal: object | None = None
 
     def run_statement(self, statement: Statement) -> None:
         """Execute one workload statement through whichever system is wired."""
@@ -195,12 +198,39 @@ class ExperimentHarness:
         mode: ExecutionMode | str,
         *,
         action: str = "collect",
+        durable_dir: str | None = None,
+        durability_sync: str = "flush",
     ) -> ExperimentSetup:
-        """Create the database, view, triggers and chosen execution system."""
+        """Create the database, view, triggers and chosen execution system.
+
+        With ``durable_dir`` set, durability is switched **on**: the freshly
+        populated database is captured as an initial snapshot in that
+        directory and a :class:`~repro.persist.WriteAheadLog` is attached, so
+        every measured update is also logged (``durability_sync`` picks the
+        append policy).  The same workload therefore runs bit-identically
+        with durability on or off — the toggle the WAL-overhead benchmark
+        flips (``benchmarks/bench_wal_overhead.py``).
+        """
         workload = HierarchyWorkload(parameters)
         database = workload.build_database()
         view = workload.build_view()
         collected: list = []
+        wal = None
+        if durable_dir is not None:
+            import pathlib
+
+            from repro.persist import Snapshot, WriteAheadLog
+            from repro.persist.recovery import SNAPSHOT_FILE, WAL_FILE
+
+            path = pathlib.Path(durable_dir)
+            path.mkdir(parents=True, exist_ok=True)
+            wal = WriteAheadLog(path / WAL_FILE, sync=durability_sync)
+            # This is a *fresh* setup: discard any records a previous run left
+            # in the directory — a stale WAL tail would corrupt recovery of
+            # the new snapshot (LSNs restart at 1 here).
+            wal.truncate()
+            Snapshot.capture(database, wal_lsn=0).write(path / SNAPSHOT_FILE)
+            wal.attach(database)
 
         if isinstance(mode, str) and mode == self.MATERIALIZED:
             baseline = MaterializedBaseline(database)
@@ -208,7 +238,8 @@ class ExperimentHarness:
             baseline.register_action(action, lambda node: collected.append(node))
             for definition in workload.trigger_definitions(action):
                 baseline.create_trigger(parse_trigger(definition))
-            return ExperimentSetup(parameters, workload, database, None, baseline, collected)
+            return ExperimentSetup(parameters, workload, database, None, baseline,
+                                   collected, wal=wal)
 
         mode = ExecutionMode(mode) if isinstance(mode, str) else mode
         service = ActiveViewService(database, mode=mode)
@@ -216,7 +247,8 @@ class ExperimentHarness:
         service.register_action(action, lambda node: collected.append(node))
         for definition in workload.trigger_definitions(action):
             service.create_trigger(definition)
-        return ExperimentSetup(parameters, workload, database, service, None, collected)
+        return ExperimentSetup(parameters, workload, database, service, None,
+                               collected, wal=wal)
 
     # ------------------------------------------------------------------ measurement
 

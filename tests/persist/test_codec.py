@@ -1,0 +1,87 @@
+"""The binary codec: round trips, edge values, corruption detection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.persist.codec import decode_value, encode_value
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**100,            # arbitrary precision survives
+        -(2**100),
+        0.0,
+        -0.5,
+        1e300,
+        "",
+        "héllo ✓ <xml> & \"quotes\"",
+        b"",
+        b"\x00\xff framed binary \x00",
+        (),
+        (1, "a", None),
+        [],
+        [1, [2, [3]]],
+        {},
+        {"k": "v", 1: (2.0, None), ("tuple", "key"): [True]},
+    ],
+)
+def test_round_trip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+def test_round_trip_preserves_types():
+    # tuple vs list, int vs float, bool vs int must not blur.
+    assert decode_value(encode_value((1, 2))) == (1, 2)
+    assert isinstance(decode_value(encode_value((1,))), tuple)
+    assert isinstance(decode_value(encode_value([1])), list)
+    assert isinstance(decode_value(encode_value(1)), int)
+    assert isinstance(decode_value(encode_value(1.0)), float)
+    assert decode_value(encode_value(True)) is True
+
+
+def test_nan_round_trips():
+    assert math.isnan(decode_value(encode_value(float("nan"))))
+
+
+def test_nested_record_shape():
+    record = {
+        "kind": "apply",
+        "deltas": [
+            {"table": "vendor", "event": "UPDATE",
+             "inserted": [["Amazon", "P1", 75.0]],
+             "deleted": [["Amazon", "P1", 100.0]]}
+        ],
+        "lsn": 7,
+    }
+    assert decode_value(encode_value(record)) == record
+
+
+def test_unencodable_type_raises():
+    with pytest.raises(PersistenceError):
+        encode_value(object())
+
+
+def test_truncated_payload_raises():
+    data = encode_value({"a": "long-enough-string"})
+    with pytest.raises(PersistenceError):
+        decode_value(data[:-3])
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(PersistenceError):
+        decode_value(encode_value(1) + b"x")
+
+
+def test_unknown_tag_raises():
+    with pytest.raises(PersistenceError):
+        decode_value(b"Z")

@@ -1,0 +1,262 @@
+"""DurableServer: crash recovery, outbox redelivery, cursors, compaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.persist import DurableServer
+from repro.relational import Column, DataType, ForeignKey, TableSchema
+from repro.relational.dml import UpdateStatement
+from repro.xqgm.views import catalog_view
+
+from tests.conftest import PRODUCTS, VENDORS
+from tests.serving.conftest import by_product
+
+WATCH_ALL = (
+    "CREATE TRIGGER W AFTER UPDATE ON view('catalog')/product DO notify(NEW_NODE)"
+)
+
+
+def open_server(directory, shard_count=2) -> DurableServer:
+    return DurableServer(
+        directory,
+        shard_count=shard_count,
+        key_fn=by_product,
+        views=[catalog_view()],
+        actions={"notify": lambda node: None},
+    )
+
+
+def populate(server: DurableServer) -> None:
+    db = server.sharded
+    db.create_table(
+        TableSchema(
+            "product",
+            [Column("pid", DataType.TEXT, nullable=False),
+             Column("pname", DataType.TEXT, nullable=False),
+             Column("mfr", DataType.TEXT)],
+            primary_key=["pid"],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "vendor",
+            [Column("vid", DataType.TEXT, nullable=False),
+             Column("pid", DataType.TEXT, nullable=False),
+             Column("price", DataType.REAL, nullable=False)],
+            primary_key=["vid", "pid"],
+            foreign_keys=[ForeignKey(("pid",), "product", ("pid",))],
+        )
+    )
+    db.load_rows("product", PRODUCTS)
+    db.load_rows("vendor", VENDORS)
+    server.ensure_view(catalog_view())
+    server.ensure_trigger(WATCH_ALL)
+
+
+def test_crash_recovery_restores_state_and_redelivers(tmp_path):
+    server = open_server(tmp_path)
+    populate(server)
+    inbox = server.subscribe("inbox", capacity=64)
+    with server:
+        server.execute(UpdateStatement("vendor", {"price": 42.0}, keys=[("Amazon", "P1")]))
+        server.execute(UpdateStatement("vendor", {"price": 199.0}, keys=[("Buy.com", "P2")]))
+    delivered = inbox.drain()
+    assert len(delivered) == 2
+    inbox.ack(delivered[0])  # consume one, crash before the other is acked
+    pre_crash = server.sharded.snapshot()
+    # Crash: no close(), no snapshot() — the files are whatever hit disk.
+
+    recovered = open_server(tmp_path)
+    assert recovered.sharded.snapshot() == pre_crash
+    assert [trigger.name for trigger in recovered.server.triggers] == ["W"]
+    inbox2 = recovered.subscribe("inbox", capacity=64)
+    assert recovered.redelivered == {"inbox": 1}
+    backlog = inbox2.drain()
+    assert [(a.shard, a.sequence, a.key) for a in backlog] == [
+        (delivered[1].shard, delivered[1].sequence, delivered[1].key)
+    ]
+    # Redelivered activations carry usable nodes.
+    assert backlog[0].new_node.attribute("name") == delivered[1].new_node.attribute("name")
+    recovered.close()
+
+
+def test_sequences_continue_across_restart(tmp_path):
+    server = open_server(tmp_path)
+    populate(server)
+    with server:
+        server.execute(UpdateStatement("vendor", {"price": 10.0}, keys=[("Amazon", "P1")]))
+    first = server.server.sequences
+    recovered = open_server(tmp_path)
+    assert recovered.server.sequences == first
+    with recovered:
+        recovered.execute(UpdateStatement("vendor", {"price": 11.0}, keys=[("Amazon", "P1")]))
+    assert sum(recovered.server.sequences) == sum(first) + 1
+    recovered.close()
+
+
+def test_new_subscriber_does_not_get_history(tmp_path):
+    server = open_server(tmp_path)
+    populate(server)
+    with server:
+        server.execute(UpdateStatement("vendor", {"price": 10.0}, keys=[("Amazon", "P1")]))
+    recovered = open_server(tmp_path)
+    latecomer = recovered.subscribe("latecomer", capacity=16)
+    assert latecomer.drain() == []
+    recovered.close()
+
+
+def test_resubscribe_mid_process_gets_backlog(tmp_path):
+    """A known name that re-subscribes in the SAME process must still receive
+    every accepted-but-unacked activation produced while it was away."""
+    server = open_server(tmp_path)
+    populate(server)
+    first = server.subscribe("inbox", capacity=64)
+    server.server.unsubscribe(first)  # client disconnects
+    with server:
+        server.execute(UpdateStatement("vendor", {"price": 10.0}, keys=[("Amazon", "P1")]))
+        server.execute(UpdateStatement("vendor", {"price": 11.0}, keys=[("Amazon", "P1")]))
+    returned = server.subscribe("inbox", capacity=64)
+    assert server.redelivered["inbox"] == 2
+    backlog = returned.drain()
+    assert [a.sequence for a in backlog] == sorted(a.sequence for a in backlog)
+    assert len(backlog) == 2
+    server.close()
+
+
+def test_snapshot_compacts_outbox_and_wals(tmp_path):
+    server = open_server(tmp_path)
+    populate(server)
+    inbox = server.subscribe("inbox", capacity=64)
+    with server:
+        server.execute(UpdateStatement("vendor", {"price": 10.0}, keys=[("Amazon", "P1")]))
+    for activation in inbox.drain():
+        inbox.ack(activation)
+    server.snapshot()
+    assert server.wals[0].byte_size == 0 and server.wals[1].byte_size == 0
+    server.close()
+
+    recovered = open_server(tmp_path)
+    inbox2 = recovered.subscribe("inbox", capacity=64)
+    assert recovered.redelivered == {"inbox": 0}
+    assert inbox2.drain() == []
+    # State and registry still fully there, from the snapshot alone.
+    assert recovered.sharded.row_count("vendor") == len(VENDORS)
+    assert [trigger.name for trigger in recovered.server.triggers] == ["W"]
+    recovered.close()
+
+
+def test_unacked_activation_survives_snapshot(tmp_path):
+    server = open_server(tmp_path)
+    populate(server)
+    server.subscribe("inbox", capacity=64)
+    with server:
+        server.execute(UpdateStatement("vendor", {"price": 10.0}, keys=[("Amazon", "P1")]))
+    server.snapshot()  # nothing acked -> the activation must be retained
+    server.close()
+    recovered = open_server(tmp_path)
+    inbox = recovered.subscribe("inbox", capacity=64)
+    assert recovered.redelivered == {"inbox": 1}
+    assert len(inbox.drain()) == 1
+    recovered.close()
+
+
+def test_snapshot_with_no_subscribers_drops_outbox(tmp_path):
+    """With no subscriber cursors at all, retained outbox entries could never
+    be consumed by anyone — compaction must drop them, not keep them forever."""
+    server = open_server(tmp_path)
+    populate(server)
+    with server:
+        server.execute(UpdateStatement("vendor", {"price": 10.0}, keys=[("Amazon", "P1")]))
+    assert len(server._pending) == 1
+    server.snapshot()
+    assert server._pending == []
+    server.close()
+    recovered = open_server(tmp_path)
+    assert recovered._pending == []
+    # Sequence numbering still continues past the dropped entries.
+    with recovered:
+        recovered.execute(UpdateStatement("vendor", {"price": 11.0}, keys=[("Amazon", "P1")]))
+    assert max(recovered.server.sequences) == 2
+    recovered.close()
+
+
+def test_sequences_survive_outbox_compaction_crash_window(tmp_path):
+    """Crash after outbox compaction but before the cursor rewrite: the ack
+    cursors alone must keep the sequence floor, or new activations would be
+    renumbered into already-acked territory and silently dropped."""
+    server = open_server(tmp_path)
+    populate(server)
+    inbox = server.subscribe("inbox", capacity=64)
+    with server:
+        server.execute(UpdateStatement("vendor", {"price": 10.0}, keys=[("Amazon", "P1")]))
+    for activation in inbox.drain():
+        inbox.ack(activation)
+    before = server.server.sequences
+    # Emulate the torn snapshot: outbox compacted, cursor log NOT rewritten.
+    server.outbox.rewrite([])
+    # crash (no close)
+    recovered = open_server(tmp_path)
+    assert recovered.server.sequences == before
+    inbox2 = recovered.subscribe("inbox", capacity=64)
+    with recovered:
+        recovered.execute(UpdateStatement("vendor", {"price": 11.0}, keys=[("Amazon", "P1")]))
+    fresh = inbox2.drain()
+    assert len(fresh) == 1 and fresh[0].sequence == before[fresh[0].shard] + 1
+    recovered.close()
+
+
+def test_harness_durable_dir_is_reusable(tmp_path):
+    """build_setup(durable_dir=...) must reset a previously used directory —
+    stale WAL records behind a fresh snapshot would corrupt recovery."""
+    from repro.core.service import ExecutionMode
+    from repro.persist import recover_database
+    from repro.workloads import ExperimentHarness, WorkloadParameters
+
+    params = WorkloadParameters(depth=2, leaf_tuples=64, fanout=16,
+                                num_triggers=4, satisfied_triggers=2, seed=1)
+    harness = ExperimentHarness(params, updates=1)
+    directory = str(tmp_path / "node")
+    for _ in range(2):  # second pass reuses the same directory
+        setup = harness.build_setup(params, ExecutionMode.GROUPED_AGG,
+                                    durable_dir=directory)
+        for statement in setup.workload.update_statements(5, setup.database):
+            setup.run_statement(statement)
+        recovered, wal = recover_database(directory)
+        assert recovered.snapshot() == setup.database.snapshot()
+        wal.close()
+        setup.wal.close()
+
+
+def test_shard_count_mismatch_is_rejected(tmp_path):
+    open_server(tmp_path, shard_count=2).close()
+    with pytest.raises(PersistenceError):
+        open_server(tmp_path, shard_count=4)
+
+
+def test_redelivery_backlog_must_fit_capacity(tmp_path):
+    server = open_server(tmp_path)
+    populate(server)
+    server.subscribe("inbox", capacity=64)
+    with server:
+        for price in (10.0, 11.0, 12.0):
+            server.execute(UpdateStatement("vendor", {"price": price}, keys=[("Amazon", "P1")]))
+    recovered = open_server(tmp_path)
+    with pytest.raises(PersistenceError):
+        recovered.subscribe("inbox", capacity=2)
+    recovered.close()
+
+
+def test_torn_outbox_tail_is_ignored(tmp_path):
+    server = open_server(tmp_path)
+    populate(server)
+    server.subscribe("inbox", capacity=64)
+    with server:
+        server.execute(UpdateStatement("vendor", {"price": 10.0}, keys=[("Amazon", "P1")]))
+    with open(tmp_path / "outbox.log", "ab") as handle:
+        handle.write(b"\x00\x00\x01\x00torn")
+    recovered = open_server(tmp_path)
+    inbox = recovered.subscribe("inbox", capacity=64)
+    assert len(inbox.drain()) == 1
+    recovered.close()

@@ -1,0 +1,181 @@
+"""Property-based crash simulation: kill-and-recover equivalence.
+
+For a random workload interrupted after a random prefix (i.e. at a random
+WAL position — each acknowledged statement appends exactly one record per
+touched shard), recovering a :class:`repro.persist.DurableServer` from the
+on-disk files must reproduce
+
+* **exactly** the pre-crash table state of a sequential oracle that executed
+  the same prefix (snapshot + WAL replay, triggers suppressed),
+* the full trigger registry,
+* and **every activation that was accepted but not acknowledged** at crash
+  time: the durable outbox redelivers them after restart, in per-shard
+  order, so ``acked ∪ redelivered`` equals the oracle's activation multiset
+  — at-least-once, nothing lost.
+
+A randomly injected *torn tail* (garbage appended to a WAL and the outbox,
+simulating a crash mid-append) must not change any of the above: torn
+records correspond to work that was never acknowledged.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.service import ActiveViewService, ExecutionMode
+from repro.persist import DurableServer
+from repro.relational.dml import DeleteStatement, InsertStatement, UpdateStatement
+from repro.xqgm.views import catalog_view
+
+from tests.conftest import build_paper_database
+from tests.serving.conftest import build_sharded_paper_database, by_product
+
+TRIGGERS = [
+    "CREATE TRIGGER UpdAny AFTER UPDATE ON view('catalog')/product DO sink(NEW_NODE/@name)",
+    "CREATE TRIGGER Ins AFTER INSERT ON view('catalog')/product DO sink(NEW_NODE/@name)",
+    "CREATE TRIGGER Del AFTER DELETE ON view('catalog')/product DO sink(OLD_NODE/@name)",
+]
+
+_PIDS = ["P1", "P2", "P3"]
+_VIDS = ["Amazon", "Bestbuy", "Circuitcity", "Buy.com", "Newegg", "Walmart"]
+
+_actions = st.one_of(
+    st.builds(
+        lambda vid, pid, price: ("insert_vendor", vid, pid, price),
+        st.sampled_from(_VIDS), st.sampled_from(_PIDS), st.integers(10, 300),
+    ),
+    st.builds(
+        lambda vid, pid, price: ("update_price", vid, pid, price),
+        st.sampled_from(_VIDS), st.sampled_from(_PIDS), st.integers(10, 300),
+    ),
+    st.builds(lambda vid, pid: ("delete_vendor", vid, pid),
+              st.sampled_from(_VIDS), st.sampled_from(_PIDS)),
+)
+
+
+def _to_statement(action, database):
+    kind = action[0]
+    if kind == "insert_vendor":
+        _, vid, pid, price = action
+        if database.table("vendor").get((vid, pid)) is not None:
+            return None  # would violate the primary key
+        return InsertStatement("vendor", [{"vid": vid, "pid": pid, "price": float(price)}])
+    if kind == "update_price":
+        _, vid, pid, price = action
+        return UpdateStatement("vendor", {"price": float(price)}, keys=[(vid, pid)])
+    _, vid, pid = action
+    return DeleteStatement("vendor", keys=[(vid, pid)])
+
+
+def _signature(fired_or_activation):
+    return (
+        fired_or_activation.trigger,
+        fired_or_activation.event.value,
+        fired_or_activation.key,
+    )
+
+
+def _open(directory: Path) -> DurableServer:
+    return DurableServer(
+        directory,
+        shard_count=2,
+        key_fn=by_product,
+        views=[catalog_view()],
+        actions={"sink": lambda value: None},
+    )
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    actions=st.lists(_actions, min_size=1, max_size=10),
+    prefix=st.integers(0, 10),
+    acked=st.integers(0, 30),
+    torn_tail=st.booleans(),
+)
+def test_kill_and_recover_matches_sequential_oracle(actions, prefix, acked, torn_tail):
+    prefix = min(prefix, len(actions))
+
+    # Sequential oracle: a plain in-memory service executing the same prefix.
+    oracle_db = build_paper_database()
+    oracle = ActiveViewService(oracle_db, mode=ExecutionMode.GROUPED_AGG)
+    oracle.register_view(catalog_view())
+    oracle.register_action("sink", lambda value: None)
+    for definition in TRIGGERS:
+        oracle.create_trigger(definition)
+
+    with tempfile.TemporaryDirectory() as raw_dir:
+        directory = Path(raw_dir)
+        server = _open(directory)
+        sharded = server.sharded
+        reference = build_sharded_paper_database(1)  # borrow schema + data
+        for table_name in reference.table_names():
+            sharded.create_table(reference.schema(table_name))
+        merged = reference.snapshot()
+        sharded.load_rows("product", merged["product"])
+        sharded.load_rows("vendor", merged["vendor"])
+        server.ensure_view(catalog_view())
+        for definition in TRIGGERS:
+            server.ensure_trigger(definition)
+        inbox = server.subscribe("inbox", capacity=1024)
+
+        with server:
+            for action in actions[:prefix]:
+                statement = _to_statement(action, oracle_db)
+                if statement is None:
+                    continue
+                oracle.execute(statement)
+                server.execute(statement)
+
+        delivered = inbox.drain()
+        acked_count = min(acked, len(delivered))
+        for activation in delivered[:acked_count]:
+            inbox.ack(activation)
+        # ---- crash: no close(), no snapshot(); optionally tear the tails.
+        if torn_tail:
+            for victim in (directory / "shard0" / "wal.log", directory / "outbox.log"):
+                with open(victim, "ab") as handle:
+                    handle.write(b"\x13\x37garbage-torn-frame")
+
+        recovered = _open(directory)
+        try:
+            # Tables: exactly the oracle's state for the executed prefix.
+            oracle_state = {
+                name: sorted(rows, key=repr)
+                for name, rows in oracle_db.snapshot().items()
+            }
+            assert recovered.sharded.snapshot() == oracle_state
+            # Registry: every trigger (and the view) rehydrated.
+            assert sorted(t.name for t in recovered.server.triggers) == sorted(
+                spec.name for spec in oracle.triggers
+            )
+            assert recovered.server.services[0].views == ["catalog"]
+
+            # Delivery: the serving run produced the oracle's activations...
+            oracle_multiset = Counter(_signature(f) for f in oracle.fired)
+            assert Counter(_signature(a) for a in delivered) == oracle_multiset
+
+            # ...and everything accepted-but-unacked comes back (at-least-once).
+            inbox2 = recovered.subscribe("inbox", capacity=1024)
+            redelivered = inbox2.drain()
+            assert Counter(_signature(a) for a in redelivered) == Counter(
+                _signature(a) for a in delivered[acked_count:]
+            )
+            # Per-shard order is preserved on redelivery.
+            for shard in range(2):
+                sequences = [a.sequence for a in redelivered if a.shard == shard]
+                assert sequences == sorted(sequences)
+            # No lost activation overall: acked ∪ redelivered == oracle.
+            assert (
+                Counter(_signature(a) for a in delivered[:acked_count])
+                + Counter(_signature(a) for a in redelivered)
+            ) == oracle_multiset
+        finally:
+            recovered.close()

@@ -21,6 +21,7 @@ from __future__ import annotations
 import pathlib
 import re
 import sys
+import traceback
 
 _BLOCK = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
 
@@ -34,23 +35,50 @@ def default_targets() -> list[pathlib.Path]:
     return targets
 
 
+def _failure_line(error: Exception, filename: str) -> int | None:
+    """The markdown line number where ``error`` arose, if determinable.
+
+    Blocks are compiled padded with newlines so their code objects carry the
+    block's true position *within the markdown file*; the deepest traceback
+    frame belonging to that file (or the syntax-error position) is therefore
+    directly reportable as ``path:line``.
+    """
+    if isinstance(error, SyntaxError) and error.filename == filename:
+        return error.lineno
+    lineno = None
+    for frame in traceback.extract_tb(error.__traceback__):
+        if frame.filename == filename:
+            lineno = frame.lineno
+    return lineno
+
+
 def run_file(path: pathlib.Path, *, require_blocks: bool) -> int:
     """Execute one markdown file's Python blocks; returns a process status."""
     text = path.read_text(encoding="utf-8")
-    blocks = [match.group(1) for match in _BLOCK.finditer(text)]
-    if not blocks:
+    matches = list(_BLOCK.finditer(text))
+    if not matches:
         if require_blocks:
             print(f"{path}: no python code blocks found", file=sys.stderr)
             return 1
         print(f"skip {path} (no python code blocks)")
         return 0
     namespace: dict = {"__name__": f"docs_block::{path.name}"}
-    for index, block in enumerate(blocks, start=1):
+    for index, match in enumerate(matches, start=1):
+        block = match.group(1)
+        # Pad with blank lines so compiled line numbers equal line numbers in
+        # the markdown file itself (group(1) begins with the newline that ends
+        # the ``` fence line, so count newlines up to the first code line).
+        stripped = block.lstrip("\n")
+        leading = len(block) - len(stripped)
+        first_code_line = text.count("\n", 0, match.start(1)) + 1 + leading
+        padded = "\n" * (first_code_line - 1) + stripped
         try:
-            exec(compile(block, f"{path}:block{index}", "exec"), namespace)
+            exec(compile(padded, str(path), "exec"), namespace)
         except Exception as error:  # noqa: BLE001 - report and fail
-            print(f"FAIL {path} block {index}: {type(error).__name__}: {error}",
-                  file=sys.stderr)
+            lineno = _failure_line(error, str(path))
+            location = f"{path}:{lineno}" if lineno else f"{path} block {index}"
+            print(f"FAIL {location} (code block {index}): "
+                  f"{type(error).__name__}: {error}", file=sys.stderr)
             print("----- block source -----", file=sys.stderr)
             print(block.strip(), file=sys.stderr)
             print("------------------------", file=sys.stderr)
