@@ -90,6 +90,9 @@ def test_batched_beats_per_statement_by_2x():
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    from benchmarks.common import record_result
+
+    record: dict = {"statements": _CHECK_STATEMENTS}
     for mode in (ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG):
         sequential, batched, *_ = _time_paths(mode)
         print(
@@ -98,8 +101,14 @@ def main() -> None:  # pragma: no cover - CLI convenience
             f"batched {batched * 1000:8.1f} ms   "
             f"speedup {sequential / batched:5.1f}x"
         )
+        record[mode.value] = {
+            "per_statement_ms": round(sequential * 1000, 2),
+            "batched_ms": round(batched * 1000, 2),
+            "speedup": round(sequential / batched, 2),
+        }
     test_batched_beats_per_statement_by_2x()
     print("speedup assertion (>= 2x): OK")
+    print("trajectory:", record_result("batch_throughput", record))
 
 
 if __name__ == "__main__":  # pragma: no cover

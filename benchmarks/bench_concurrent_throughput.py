@@ -90,17 +90,25 @@ def test_eight_shards_scale_at_least_3x():
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    from benchmarks.common import record_result
+
     results = _throughputs(SHARD_COUNTS)
     base = results[0][1]
+    record: dict = {"clients": CLIENTS, "action_latency_ms": ACTION_LATENCY * 1000}
     for shards, throughput, point in results:
         print(
             f"shards={shards}:  {point.updates} stmts from {CLIENTS} clients  "
             f"{point.avg_ms:6.2f} ms/stmt  {throughput:6.0f} stmt/s  "
             f"scaling x{throughput / base:.2f}"
         )
+        record[f"shards_{shards}"] = {
+            "stmt_per_s": round(throughput, 1),
+            "scaling": round(throughput / base, 2),
+        }
     ratio = results[-1][1] / base
     assert ratio >= 3.0, f"8 shards only {ratio:.2f}x the 1-shard throughput"
     print("scaling assertion (>= 3x at 8 shards): OK")
+    print("trajectory:", record_result("concurrent_throughput", record))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -115,6 +115,8 @@ def test_snapshot_bounds_recovery(tmp_path):
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    from benchmarks.common import record_result
+
     print(f"table: {TABLE_ROWS} rows (fixed); WAL grows with update count")
     times = {}
     for updates in WAL_LENGTHS:
@@ -143,6 +145,13 @@ def main() -> None:  # pragma: no cover - CLI convenience
     finally:
         shutil.rmtree(directory, ignore_errors=True)
     print("snapshot-bound assertion: OK")
+    record = {
+        "table_rows": TABLE_ROWS,
+        "recovery_ms_by_wal_records": {str(k): round(v * 1000, 2) for k, v in times.items()},
+        "full_wal_ms": round(long_wal * 1000, 2),
+        "after_snapshot_ms": round(snap * 1000, 2),
+    }
+    print("trajectory:", record_result("recovery_time", record))
 
 
 if __name__ == "__main__":  # pragma: no cover

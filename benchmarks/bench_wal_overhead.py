@@ -93,7 +93,11 @@ def test_wal_on_within_25_percent():
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    from benchmarks.common import record_result
+
+    record: dict = {"statements": _CHECK_STATEMENTS}
     memory_seconds, _ = _time_updates()
+    record["in_memory_ms"] = round(memory_seconds * 1000, 2)
     for sync in ("none", "flush", "fsync"):
         durable_dir = tempfile.mkdtemp(prefix="wal-bench-")
         try:
@@ -106,8 +110,13 @@ def main() -> None:  # pragma: no cover - CLI convenience
             f"wal-on {wal_seconds * 1000:8.1f} ms   "
             f"overhead {wal_seconds / memory_seconds:5.2f}x"
         )
+        record[f"sync_{sync}"] = {
+            "wal_on_ms": round(wal_seconds * 1000, 2),
+            "overhead": round(wal_seconds / memory_seconds, 3),
+        }
     test_wal_on_within_25_percent()
     print("overhead assertion (<= 1.25x at sync=flush): OK")
+    print("trajectory:", record_result("wal_overhead", record))
 
 
 if __name__ == "__main__":  # pragma: no cover

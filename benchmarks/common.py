@@ -12,13 +12,58 @@ sizes (1.0 = the sizes used below; larger values approach the paper's).
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
+import time
 
 from repro.core.service import ExecutionMode
 from repro.workloads import ExperimentHarness, HierarchyWorkload, WorkloadParameters
 
 #: Multiplier applied to the scaled-down benchmark sizes.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Where benchmark trajectory files are written (``BENCH_<name>.json``).
+#: Override with ``REPRO_BENCH_RESULTS``; CI uploads this directory as an
+#: artifact so every run extends the repository's perf baseline.
+RESULTS_DIR = os.environ.get("REPRO_BENCH_RESULTS", "benchmarks/results")
+
+
+def record_result(name: str, record: dict, *, timestamp: str | None = None,
+                  results_dir: str | None = None) -> pathlib.Path:
+    """Append one benchmark run's numbers to ``BENCH_<name>.json``.
+
+    The file holds a JSON list — one entry per run, appended, never
+    rewritten away — so successive runs (and successive PRs, via the CI
+    artifact) form a perf *trajectory* rather than a single point.  Each
+    entry carries a timestamp (``timestamp=`` argument, else the
+    ``REPRO_BENCH_TIMESTAMP`` environment variable — useful to stamp a whole
+    CI run coherently — else the current UTC time), the active
+    ``REPRO_BENCH_SCALE``, and the benchmark's own numbers.
+    """
+    directory = pathlib.Path(results_dir or RESULTS_DIR)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    trajectory: list = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(existing, list):
+                trajectory = existing
+        except ValueError:
+            # An interrupted write left the file unreadable.  The history is
+            # the whole point of the trajectory, so set the damaged file
+            # aside for inspection instead of clobbering it.
+            quarantine = path.with_suffix(".json.corrupt")
+            path.replace(quarantine)
+            print(f"record_result: unreadable {path.name} moved to {quarantine.name}")
+    if timestamp is None:
+        timestamp = os.environ.get("REPRO_BENCH_TIMESTAMP")
+    if timestamp is None:
+        timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    trajectory.append({"timestamp": timestamp, "scale": BENCH_SCALE, **record})
+    path.write_text(json.dumps(trajectory, indent=2, default=str) + "\n", encoding="utf-8")
+    return path
 
 #: Scaled-down stand-in for the bold column of Table 2.
 BENCH_DEFAULTS = WorkloadParameters(

@@ -38,6 +38,7 @@ from repro.relational.triggers import TriggerContext, TriggerEvent
 from repro.xqgm.expressions import AttributeSpec, ColumnRef, ElementConstructor, Expression
 from repro.xqgm.evaluate import EvaluationContext, evaluate
 from repro.xqgm.graph import ensure_columns, replace_table_variant
+from repro.xqgm.physical import PhysicalPlan, ResultCache, compile_plan
 from repro.xqgm.keys import derive_keys
 from repro.xqgm.operators import JoinKind, JoinOp, Operator, ProjectOp, SelectOp, TableVariant
 from repro.xqgm.rewrite import compensate_old_aggregates, prune_columns, push_semijoin
@@ -109,7 +110,17 @@ class AffectedPair:
 
 @dataclass
 class CompiledTableTrigger:
-    """The translation of one monitored path / XML event for one base table."""
+    """The translation of one monitored path / XML event for one base table.
+
+    Besides the logical graphs, the translation carries the lowered
+    *physical* plan (:mod:`repro.xqgm.physical`): tuple rows with slot
+    layouts and pre-compiled expression closures.  The physical plan is
+    compiled once at translation time and is immutable, so a translation
+    cached in the service :class:`~repro.core.service.PlanCache` shares its
+    compiled plan across trigger groups and across the shard services of a
+    server.  The interpreted evaluator remains available as the oracle
+    (``use_compiled=False``).
+    """
 
     table: str
     xml_event: TriggerEvent
@@ -123,12 +134,51 @@ class CompiledTableTrigger:
     uses_compensation: bool
     options: PushdownOptions
     sql_text: str = ""
+    physical_plan: PhysicalPlan | None = None
+    #: ``repr`` of the exception if physical lowering failed (interpreter
+    #: fallback in effect); surfaced through the service's
+    #: ``evaluation_report`` so the fallback can never go unnoticed.
+    physical_compile_error: str | None = None
 
     def affected_pairs(
-        self, database: Database, trigger_context: TriggerContext
+        self,
+        database: Database,
+        trigger_context: TriggerContext,
+        *,
+        use_compiled: bool = True,
+        result_cache: ResultCache | None = None,
+        cache_context_results: bool = True,
+        stats: dict[str, int] | None = None,
     ) -> list[AffectedPair]:
-        """Evaluate the executable graph for one fired statement."""
+        """Evaluate the executable graph for one fired statement.
+
+        ``use_compiled`` selects the physical plan (the default; falls back
+        to the interpreter when no plan could be compiled);
+        ``result_cache`` enables version-stamped reuse of stable subplan
+        results across firings (``cache_context_results=False`` restricts it
+        to cross-statement STABLE reuse); ``stats`` collects evaluation
+        counters (``index_probes`` / ``hash_joins`` / ``cache_hits`` / ...).
+        """
         context = EvaluationContext(database, trigger_context)
+        if stats is not None:
+            context.collect_stats = True
+            context.stats = stats
+        plan = self.physical_plan if use_compiled else None
+        if plan is not None:
+            context.result_cache = result_cache
+            context.cache_context_results = cache_context_results
+            layout = plan.layout
+            key_slots = [layout.index[column] for column in self.key_columns]
+            old_slot = layout.index[OLD_NODE]
+            new_slot = layout.index[NEW_NODE]
+            return [
+                AffectedPair(
+                    key=tuple(row[i] for i in key_slots),
+                    old_node=row[old_slot],
+                    new_node=row[new_slot],
+                )
+                for row in plan.execute(context)
+            ]
         rows = evaluate(self.executable_top, context)
         pairs = []
         for row in rows:
@@ -203,6 +253,20 @@ def _translate_for_table(
         reference, path_graph, table, database, options, check_difference
     )
 
+    # Lower the executable graph into the slot-based physical plan once, at
+    # translation time (never on the DML hot path).  Compilation captures
+    # only schema information, so the plan runs against any database with
+    # this catalog.  A graph the lowering cannot handle falls back to the
+    # interpreted oracle at evaluation time — correct but slower, so the
+    # failure is recorded on the translation and surfaced through
+    # ``ActiveViewService.evaluation_report`` rather than swallowed.
+    physical_compile_error = None
+    try:
+        physical_plan = compile_plan(executable, database)
+    except Exception as error:
+        physical_plan = None
+        physical_compile_error = repr(error)
+
     sql_text = render_sql_trigger(
         name=f"sql_{trigger_name}_{table}",
         table=table,
@@ -229,6 +293,8 @@ def _translate_for_table(
         uses_compensation=uses_compensation,
         options=options,
         sql_text=sql_text,
+        physical_plan=physical_plan,
+        physical_compile_error=physical_compile_error,
     )
 
 

@@ -41,6 +41,7 @@ from repro.relational.dml import Batch, BatchResult, BulkLoad, Statement, Statem
 from repro.relational.triggers import StatementTrigger, TriggerContext, TriggerEvent
 from repro.xmlmodel.node import XmlNode
 from repro.xmlmodel.xpath import XPath
+from repro.xqgm.physical import ResultCache
 from repro.xqgm.views import PathGraph, ViewDefinition
 from repro.core.activation import ActionRegistry, TriggerActivator
 from repro.core.grouping import ConstantsRow, TriggerGroup, group_triggers
@@ -185,12 +186,28 @@ class ActiveViewService:
         create_indexes: bool = True,
         strict_actions: bool = False,
         plan_cache: PlanCache | None = None,
+        use_compiled_plans: bool = True,
+        result_cache_size: int = 512,
+        collect_eval_stats: bool = False,
     ) -> None:
         self.database = database
         self.mode = mode
         self.push_affected_keys = push_affected_keys
         self.use_pruned_transitions = use_pruned_transitions
         self.create_indexes = create_indexes
+        # Compiled physical plans (repro.xqgm.physical) are the default
+        # trigger-firing engine; the interpreted evaluator remains the oracle
+        # and the fallback for graphs the lowering cannot handle.  The result
+        # cache reuses stable subplan results across firings while the input
+        # tables' version counters are unchanged; it observes *this* service's
+        # database only, so it is per-service even when the PlanCache (and
+        # thereby the compiled plans) is shared across shard services.
+        self.use_compiled_plans = use_compiled_plans
+        self.result_cache = ResultCache(max_entries=result_cache_size)
+        # When enabled, evaluation counters (index_probes / hash_joins /
+        # cache_hits / rows_* ...) accumulate here across firings.
+        self.collect_eval_stats = collect_eval_stats
+        self.eval_stats: dict[str, int] = {}
         self.registry = ActionRegistry()
         self.activator = TriggerActivator(self.registry, strict=strict_actions)
         self._views: dict[str, ViewDefinition] = {}
@@ -253,6 +270,10 @@ class ActiveViewService:
             key: graph for key, graph in self._path_graphs.items() if key[0] != name
         }
         self._plan_cache.invalidate_view(name)
+        # Cached subplan results of the dropped view's plans would never be
+        # looked up again (recompiled plans carry fresh operator ids), but
+        # dropping them now returns the memory immediately.
+        self.result_cache.clear()
         self._emit_ddl("drop_view", name)
 
     def register_action(self, name: str, function: Callable[..., Any]) -> None:
@@ -444,6 +465,27 @@ class ActiveViewService:
         self._fired.clear()
         self.activator.reset_log()
 
+    def evaluation_report(self) -> dict[str, int]:
+        """Evaluation counters plus result-cache statistics.
+
+        The ``index_probes`` / ``hash_joins`` / ``cache_hits`` / ``rows_*``
+        counters accumulate only when the service was created with
+        ``collect_eval_stats=True``; the ``result_cache_*`` entries and
+        ``compiled_plan_fallbacks`` (translations whose physical lowering
+        failed and run on the interpreter — expected to be zero) are always
+        maintained.
+        """
+        report = dict(self.eval_stats)
+        for key, value in self.result_cache.stats().items():
+            report[f"result_cache_{key}"] = value
+        report["compiled_plan_fallbacks"] = sum(
+            1
+            for compiled in self._groups.values()
+            for translation in compiled.translations.values()
+            if translation.physical_plan is None
+        )
+        return report
+
     # ------------------------------------------------------------------ internals
 
     def _group_signature(self, spec: TriggerSpec) -> tuple:
@@ -535,7 +577,19 @@ class ActiveViewService:
         self, compiled: _CompiledGroup, translation: CompiledTableTrigger
     ) -> Callable[[TriggerContext], None]:
         def body(context: TriggerContext) -> None:
-            pairs = translation.affected_pairs(self.database, context)
+            # CONTEXT-level (statement-shared) caching pays off when work can
+            # repeat within one firing: several trigger groups evaluating
+            # shared subgraphs per statement.  With a single group each plan
+            # runs once per firing, so only cross-statement STABLE reuse is
+            # worth its bookkeeping — CONTEXT stamping is switched off.
+            pairs = translation.affected_pairs(
+                self.database,
+                context,
+                use_compiled=self.use_compiled_plans,
+                result_cache=self.result_cache if self.use_compiled_plans else None,
+                cache_context_results=len(self._groups) > 1,
+                stats=self.eval_stats if self.collect_eval_stats else None,
+            )
             if not pairs:
                 return
             self._activate_group(

@@ -14,10 +14,15 @@ for the statement-trigger transition tables ``Δtable`` / ``∇table``.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import IntegrityError, SchemaError
 from repro.relational.schema import TableSchema
+
+#: Process-wide unique ids so version stamps from two Table instances that
+#: happen to share a name (drop + recreate, recovery rebuilds) never collide.
+_table_uids = itertools.count(1)
 
 __all__ = ["Table", "TransitionTable"]
 
@@ -49,6 +54,11 @@ class TransitionTable:
 
     def keys(self) -> set[tuple]:
         """Primary-key values of all rows (requires the schema to have a PK)."""
+        if not self.schema.primary_key:
+            raise SchemaError(
+                f"table {self.schema.name!r} has no primary key; "
+                "transition-table rows cannot be identified by key"
+            )
         return {self.schema.key_of(row) for row in self._rows}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -62,6 +72,15 @@ class Table:
         self.schema = schema
         self._rows: dict[tuple, tuple] = {}
         self._next_rowid = 0
+        # Monotonic data-version counter.  Every mutation path — per-statement
+        # DML, batched execution, trigger-bypassing bulk loads, and WAL
+        # recovery replay — lands in insert_row / _remove / update_where, so
+        # the counter advances on every commit path.  The compiled-plan result
+        # cache (repro.xqgm.physical) stamps cached subplan results with the
+        # versions of the tables they read; a stamp mismatch is the cache's
+        # only invalidation rule.
+        self._version = 0
+        self._uid = next(_table_uids)
         # index name -> (columns, mapping value-tuple -> set of storage keys)
         self._indexes: dict[str, tuple[tuple[str, ...], dict[tuple, set[tuple]]]] = {}
         # Unique constraints get dedicated indexes for O(1) enforcement.
@@ -76,6 +95,21 @@ class Table:
     def name(self) -> str:
         """Table name (from the schema)."""
         return self.schema.name
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter advanced by every mutation of this table."""
+        return self._version
+
+    @property
+    def version_stamp(self) -> tuple[int, int]:
+        """``(table uid, version)`` — the result cache's freshness token.
+
+        The counter is advanced inline by the storage mutators themselves
+        (``insert_row`` / ``_remove``); any new mutation path must route
+        through those or bump ``self._version`` the same way.
+        """
+        return (self._uid, self._version)
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -214,6 +248,7 @@ class Table:
         self._rows[storage_key] = stored
         for columns, mapping in self._indexes.values():
             mapping.setdefault(self.schema.project(stored, columns), set()).add(storage_key)
+        self._version += 1
         return stored
 
     def _candidates(self, candidate_keys: Iterable[tuple] | None) -> Iterable[tuple[tuple, tuple]]:
@@ -265,6 +300,7 @@ class Table:
                 bucket.discard(storage_key)
                 if not bucket:
                     del mapping[value]
+        self._version += 1
 
     def update_where(
         self,

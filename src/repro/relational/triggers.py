@@ -18,6 +18,7 @@ exactly as described in Section 4.2.
 from __future__ import annotations
 
 import enum
+import itertools
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable
@@ -95,12 +96,24 @@ class TriggerContext:
     batch_inserted: TransitionTable | None = None
     batch_deleted: TransitionTable | None = None
     batch_seen: set | None = None
+    #: Process-unique token identifying this firing's transition tables.
+    #: Every SQL trigger fired for one (statement, table, event) receives the
+    #: *same* context object, so the token lets the compiled-plan result
+    #: cache (:mod:`repro.xqgm.physical`) reuse delta-dependent subplan
+    #: results across the many trigger groups fired by one statement while
+    #: never confusing two different firings.
+    context_token: int = field(init=False, repr=False, compare=False)
     _net_pruned_inserted: TransitionTable | None = field(
         default=None, init=False, repr=False, compare=False
     )
     _net_pruned_deleted: TransitionTable | None = field(
         default=None, init=False, repr=False, compare=False
     )
+
+    _tokens = itertools.count(1)
+
+    def __post_init__(self) -> None:
+        self.context_token = next(TriggerContext._tokens)
 
     # -- derived tables --------------------------------------------------------
 

@@ -157,7 +157,12 @@ class ActiveViewServer:
     Views, actions and triggers registered through the server are installed
     on every shard service; trigger compilation cost is shared through one
     thread-safe :class:`~repro.core.service.PlanCache`, so an N-shard server
-    derives each distinct plan once, not N times.
+    derives each distinct plan — including its lowered physical form
+    (:mod:`repro.xqgm.physical`) — once, not N times.  The view-closure
+    contract makes that sound: every shard exposes the same catalog, and a
+    compiled plan references tables by name only.  What is *not* shared is
+    the per-service result cache (cached subplan rows are one shard's data);
+    see :meth:`evaluation_report`.
     """
 
     def __init__(
@@ -468,6 +473,22 @@ class ActiveViewServer:
         """Forget recorded firings and action calls on every shard service."""
         for service in self.services:
             service.clear_logs()
+
+    def evaluation_report(self) -> dict[str, int]:
+        """Summed evaluation counters and result-cache stats across shards.
+
+        Compiled physical plans are shared across shards through the server's
+        :class:`~repro.core.service.PlanCache` (the view-closure contract
+        guarantees every shard exposes the same catalog), but each shard
+        service keeps its **own** version-stamped result cache — cached rows
+        are data, and every shard holds different data.  This report merges
+        the per-shard counters for a whole-server view.
+        """
+        combined: dict[str, int] = {}
+        for service in self.services:
+            for key, value in service.evaluation_report().items():
+                combined[key] = combined.get(key, 0) + value
+        return combined
 
     # ------------------------------------------------------------------ worker loop
 

@@ -49,16 +49,24 @@ class ExperimentPoint:
     avg_ms: float
     updates: int
     fired_per_update: float
+    #: Evaluation counters captured for this point (``index_probes`` /
+    #: ``hash_joins`` / ``cache_hits`` / ``result_cache_*``), populated when
+    #: the setup was built with ``collect_eval_stats=True``.
+    stats: dict = field(default_factory=dict)
 
     def as_row(self) -> dict:
         """The point as a flat dictionary (for printing / CSV)."""
-        return {
+        row = {
             "figure": self.figure,
             self.parameter: self.value,
             "mode": self.mode,
             "avg_ms_per_update": round(self.avg_ms, 3),
             "fired_per_update": round(self.fired_per_update, 2),
         }
+        for counter in ("index_probes", "hash_joins", "cache_hits"):
+            if counter in self.stats:
+                row[counter] = self.stats[counter]
+        return row
 
 
 @dataclass
@@ -110,6 +118,18 @@ class ExperimentSetup:
         if self.baseline is not None:
             return len(self.baseline.fired)
         return 0
+
+    def evaluation_report(self) -> dict:
+        """Evaluation counters + result-cache stats of the wired service.
+
+        Empty for the MATERIALIZED baseline (it has no generated plans).
+        The ``index_probes`` / ``hash_joins`` / ``cache_hits`` counters
+        accumulate only when the setup was built with
+        ``collect_eval_stats=True``.
+        """
+        if self.service is not None:
+            return self.service.evaluation_report()
+        return {}
 
 
 @dataclass
@@ -186,9 +206,20 @@ class ExperimentHarness:
 
     MATERIALIZED = "materialized"
 
-    def __init__(self, base_parameters: WorkloadParameters | None = None, updates: int = 20) -> None:
+    def __init__(
+        self,
+        base_parameters: WorkloadParameters | None = None,
+        updates: int = 20,
+        *,
+        collect_eval_stats: bool = False,
+    ) -> None:
         self.base_parameters = base_parameters or WorkloadParameters()
         self.updates = updates
+        # When enabled, sweep setups collect the evaluation counters
+        # (index_probes / hash_joins / cache_hits) into each point's
+        # ``stats``.  Off by default so timed figure sweeps measure the
+        # bare hot path, exactly like the pre-existing baselines.
+        self.collect_eval_stats = collect_eval_stats
 
     # ------------------------------------------------------------------ setup
 
@@ -200,6 +231,8 @@ class ExperimentHarness:
         action: str = "collect",
         durable_dir: str | None = None,
         durability_sync: str = "flush",
+        use_compiled_plans: bool = True,
+        collect_eval_stats: bool = False,
     ) -> ExperimentSetup:
         """Create the database, view, triggers and chosen execution system.
 
@@ -210,6 +243,12 @@ class ExperimentHarness:
         append policy).  The same workload therefore runs bit-identically
         with durability on or off — the toggle the WAL-overhead benchmark
         flips (``benchmarks/bench_wal_overhead.py``).
+
+        ``use_compiled_plans`` toggles the compiled physical engine (on by
+        default; off runs the interpreted oracle — the comparison the
+        evaluation-hot-path benchmark draws), and ``collect_eval_stats``
+        enables the evaluation counters surfaced by
+        :meth:`ExperimentSetup.evaluation_report`.
         """
         workload = HierarchyWorkload(parameters)
         database = workload.build_database()
@@ -242,7 +281,12 @@ class ExperimentHarness:
                                    collected, wal=wal)
 
         mode = ExecutionMode(mode) if isinstance(mode, str) else mode
-        service = ActiveViewService(database, mode=mode)
+        service = ActiveViewService(
+            database,
+            mode=mode,
+            use_compiled_plans=use_compiled_plans,
+            collect_eval_stats=collect_eval_stats,
+        )
         service.register_view(view)
         service.register_action(action, lambda node: collected.append(node))
         for definition in workload.trigger_definitions(action):
@@ -302,7 +346,9 @@ class ExperimentHarness:
         for value in values:
             parameters = make_parameters(value)
             for mode in modes:
-                setup = self.build_setup(parameters, mode)
+                setup = self.build_setup(
+                    parameters, mode, collect_eval_stats=self.collect_eval_stats
+                )
                 avg_seconds, fired = self.measure(setup)
                 points.append(
                     ExperimentPoint(
@@ -313,6 +359,7 @@ class ExperimentHarness:
                         avg_ms=avg_seconds * 1000.0,
                         updates=len(setup.statements),
                         fired_per_update=fired,
+                        stats=setup.evaluation_report(),
                     )
                 )
         return points
@@ -543,7 +590,9 @@ def main() -> None:  # pragma: no cover - CLI convenience
     """Run a scaled-down version of every experiment and print the series."""
     parameters = WorkloadParameters(leaf_tuples=8_000, fanout=32, num_triggers=200,
                                     satisfied_triggers=10, scale=1.0)
-    harness = ExperimentHarness(parameters, updates=10)
+    # The CLI report is observational, so it surfaces the evaluation
+    # counters alongside the timings (benchmarks keep them off).
+    harness = ExperimentHarness(parameters, updates=10, collect_eval_stats=True)
     print("Figure 17 (number of triggers):")
     _print_points(harness.figure17_num_triggers((1, 10, 100, 1000)))
     print("Figure 18 (hierarchy depth):")

@@ -16,7 +16,10 @@ This package provides:
 * a hierarchical view builder that constructs XQGM graphs like Figure 5 of
   the paper from a declarative nesting spec (:mod:`repro.xqgm.views`);
 * graph utilities: cloning with shared-subgraph preservation, table-variant
-  substitution, column propagation (:mod:`repro.xqgm.graph`).
+  substitution, column propagation (:mod:`repro.xqgm.graph`);
+* a one-time lowering of logical graphs into compiled physical plans — slot
+  tuples, closure expressions, and a version-stamped shared-subgraph result
+  cache (:mod:`repro.xqgm.physical`; see ``docs/performance.md``).
 """
 
 from repro.xqgm.expressions import (
@@ -47,6 +50,7 @@ from repro.xqgm.operators import (
 from repro.xqgm.keys import derive_keys, operator_key
 from repro.xqgm.graph import clone_graph, ensure_columns, replace_table_variant, walk
 from repro.xqgm.evaluate import EvaluationContext, evaluate
+from repro.xqgm.physical import PhysicalPlan, ResultCache, SlotLayout, compile_plan
 from repro.xqgm.views import PathGraph, ViewDefinition, ViewElementSpec
 
 __all__ = [
@@ -67,8 +71,11 @@ __all__ = [
     "Operator",
     "Parameter",
     "PathGraph",
+    "PhysicalPlan",
     "ProjectOp",
+    "ResultCache",
     "SelectOp",
+    "SlotLayout",
     "TableOp",
     "TableVariant",
     "UnionOp",
@@ -76,6 +83,7 @@ __all__ = [
     "ViewDefinition",
     "ViewElementSpec",
     "clone_graph",
+    "compile_plan",
     "derive_keys",
     "ensure_columns",
     "evaluate",

@@ -20,7 +20,7 @@ This is what keeps trigger evaluation roughly independent of database size
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import EvaluationError
 from repro.relational.database import Database
@@ -70,8 +70,26 @@ class EvaluationContext:
     constants_tables: Mapping[str, Sequence[Mapping[str, Any]]] = field(default_factory=dict)
     collect_stats: bool = False
     stats: dict[str, int] = field(default_factory=dict)
+    #: Optional :class:`repro.xqgm.physical.ResultCache` enabling the
+    #: version-stamped reuse of stable subplan results across firings.  Only
+    #: consulted by the compiled physical engine; the interpreter (the oracle)
+    #: always evaluates from scratch.
+    result_cache: Any = None
+    #: Whether CONTEXT-level (delta-dependent, statement-shared) subplan
+    #: results may be cached.  Services disable this when only one trigger
+    #: group is installed — each plan then runs once per firing, so there is
+    #: nothing to share and the bookkeeping would be pure overhead; STABLE
+    #: (cross-statement) caching stays on regardless.
+    cache_context_results: bool = True
 
     def _bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a stats counter when stats collection is enabled.
+
+        Counters maintained by both engines: per-operator output sizes
+        (``rows_<kind>``), ``table_scans``, ``index_probes`` and
+        ``hash_joins``; the physical engine additionally counts
+        ``cache_hits`` (version-stamped result-cache reuse).
+        """
         if self.collect_stats:
             self.stats[counter] = self.stats.get(counter, 0) + amount
 
@@ -213,23 +231,91 @@ def _pairs_for(
     return usable
 
 
-def _input_cost_estimate(op: Operator, ctx: EvaluationContext, memo: dict[int, list[Row]]) -> tuple:
-    """Rough ordering heuristic for inner-join inputs.
+def _zero_size(database: Database) -> int:
+    return 0
+
+
+def _cost_template(op: Operator) -> tuple[int, Callable[[Database], int]]:
+    """Static ``(rank, size estimator)`` summary of an operator subtree.
+
+    The template is structural, so it is computed once and cached on the
+    operator (graphs are immutable after translation): ``rank`` 0 marks
+    delta-driven subtrees (bounded by transition-table size, estimated ~0),
+    2 marks bare base-table scans (probe-friendly — they must come last so
+    the index probe can kick in), and 1 everything in between.  The size
+    estimator reads current table sizes at evaluation time through a
+    compiled closure chain: equi joins and unary operators are bounded by
+    their smallest input, while a union's output is the *sum* of its
+    branches (the UNION ALL bound; distinct unions are smaller).
+    """
+    cached = getattr(op, "_cost_template", None)
+    if cached is not None:
+        return cached
+    if isinstance(op, TableOp):
+        if op.variant.is_delta:
+            template: tuple[int, Callable[[Database], int]] = (0, _zero_size)
+        else:
+            template = (
+                2, lambda database, _name=op.table: len(database.table(_name))
+            )
+    elif isinstance(op, ConstantsOp):
+        template = (0, _zero_size)
+    else:
+        inner = [_cost_template(input_op) for input_op in op.inputs]
+        if not inner:
+            template = (1, _zero_size)
+        elif isinstance(op, UnionOp):
+            rank = min(1, max(r for r, _ in inner))
+            sizes = tuple(fn for _, fn in inner)
+            template = (
+                rank,
+                lambda database, _fns=sizes: sum(fn(database) for fn in _fns),
+            )
+        else:
+            # Unary operators and joins are bounded by their smallest input;
+            # a subtree with any delta-driven leg is itself delta-driven.
+            rank = min(1, min(r for r, _ in inner))
+            if rank == 0:
+                template = (0, _zero_size)
+            elif len(inner) == 1:
+                template = (rank, inner[0][1])
+            else:
+                sizes = tuple(fn for _, fn in inner)
+                template = (
+                    rank,
+                    lambda database, _fns=sizes: min(fn(database) for fn in _fns),
+                )
+    op._cost_template = template  # idempotent; safe to race under the GIL
+    return template
+
+
+def _input_cost_estimate(
+    op: Operator, ctx: EvaluationContext, memo: Mapping[int, Sequence]
+) -> tuple:
+    """Rough ``(rank, estimated rows)`` ordering heuristic for inner-join inputs.
 
     Transition-table scans (a handful of rows) should drive the join; bare
     base-table scans should come last so the index-probe path can kick in.
     This mirrors the join ordering a cost-based optimizer picks for the
     generated trigger queries (delta-driven plans, Figure 16).
+
+    Already-evaluated (memoized) inputs report their exact cardinality at
+    rank 0.  Unmemoized intermediates derive rank and a cardinality bound
+    from their static subtree template instead of a flat ``(1, 0)``: a
+    Select over a delta scan ranks with the deltas (tiny), while a GroupBy
+    over a base table carries that table's size — so delta-driven
+    intermediates drive the join and large stable subtrees sink toward the
+    probe-friendly end.  The same function orders the compiled physical
+    engine's joins (its memo maps the same logical operator ids to slot
+    rows), keeping both engines' output row order identical whenever no
+    result-cache hit has skipped a shared subplan's evaluation (a hit
+    leaves nodes below it out of the memo, so a later join may fall back
+    to the static estimates; the output multiset is unaffected).
     """
     if op.id in memo:
         return (0, len(memo[op.id]))
-    if isinstance(op, TableOp):
-        if op.variant.is_delta:
-            return (0, 0)
-        return (2, len(ctx.database.table(op.table)))
-    if isinstance(op, ConstantsOp):
-        return (0, 0)
-    return (1, 0)
+    rank, size = _cost_template(op)
+    return (rank, size(ctx.database))
 
 
 def _evaluate_inner_join(op: JoinOp, ctx: EvaluationContext, memo: dict[int, list[Row]]) -> list[Row]:
@@ -290,6 +376,7 @@ def _join_with(
         return probe_rows
 
     right_rows = _evaluate(right_op, ctx, memo)
+    ctx._bump("hash_joins")
     # Hash join: build on the smaller side.
     if len(right_rows) <= len(left_rows):
         build_rows, build_cols, probe_rows_, probe_cols = right_rows, right_columns, left_rows, left_columns
@@ -403,6 +490,7 @@ def _evaluate_two_way_join(op: JoinOp, ctx: EvaluationContext, memo: dict[int, l
     right_cols = set(right_op.output_columns)
     pairs = _pairs_for(left_cols, right_cols, op.equi_pairs)
 
+    ctx._bump("hash_joins")
     table: dict[tuple, list[Row]] = {}
     for row in right_rows:
         key = tuple(row[b] for _, b in pairs)

@@ -44,6 +44,10 @@ __all__ = [
     "AggregateSpec",
     "evaluate_expression",
     "expression_columns",
+    "compile_expr",
+    "compile_predicate",
+    "expression_uses_parameters",
+    "SlotView",
 ]
 
 Row = Mapping[str, Any]
@@ -408,6 +412,49 @@ class AggregateSpec:
         """Columns read by the aggregate argument."""
         return self.argument.referenced_columns() if self.argument else set()
 
+    def compile(
+        self, layout: Mapping[str, int]
+    ) -> Callable[[Sequence[Sequence[Any]], Mapping[str, Any] | None], Any]:
+        """Compile the aggregate once into ``fn(rows, parameters)`` over slot rows.
+
+        Mirrors :meth:`compute` exactly; used by the physical GroupBy operator
+        (:mod:`repro.xqgm.physical`).
+        """
+        if self.func == "count" and self.argument is None:
+            return lambda rows, parameters: len(rows)
+        argument = compile_expr(self.argument, layout)
+        if self.func == "count":
+            return lambda rows, parameters: sum(
+                1 for row in rows if argument(row, parameters) is not None
+            )
+        if self.func == "xmlfrag":
+            return lambda rows, parameters: Fragment(
+                [
+                    value
+                    for value in (argument(row, parameters) for row in rows)
+                    if value is not None
+                ]
+            )
+        func = self.func
+
+        def numeric(rows: Sequence[Sequence[Any]], parameters: Mapping[str, Any] | None) -> Any:
+            numbers = [
+                _atomic(value)
+                for value in (argument(row, parameters) for row in rows)
+                if value is not None
+            ]
+            if not numbers:
+                return None
+            if func == "sum":
+                return sum(numbers)
+            if func == "min":
+                return min(numbers)
+            if func == "max":
+                return max(numbers)
+            return sum(numbers) / len(numbers)  # avg (validated in __post_init__)
+
+        return numeric
+
 
 # ---------------------------------------------------------------------------
 # Helpers
@@ -437,3 +484,251 @@ def predicate_holds(
     if isinstance(value, bool) or value is None:
         return is_truthy(value)
     return bool(value)
+
+
+# ---------------------------------------------------------------------------
+# One-time expression compilation (slot rows)
+# ---------------------------------------------------------------------------
+#
+# The physical execution engine (:mod:`repro.xqgm.physical`) represents rows
+# as plain tuples with an integer *slot* per column instead of dictionaries.
+# ``compile_expr`` lowers an expression tree once into a nest of Python
+# closures reading those slots directly, so per-row evaluation costs a few
+# function calls instead of a full tree walk with dictionary lookups.  The
+# compiled form reproduces the interpreted semantics exactly (SQL NULL
+# handling, atomization, error messages) — the interpreter stays the oracle.
+
+#: A compiled expression: ``fn(values, parameters) -> value`` over a slot row.
+CompiledExpr = Callable[[Sequence[Any], Mapping[str, Any] | None], Any]
+
+
+class SlotView(Mapping):  # type: ignore[type-arg]
+    """Read-only dict view of a slot row (``column name -> value``).
+
+    Used as the fallback bridge for expression types without a dedicated
+    compiled form: their interpreted ``evaluate`` runs against this view
+    without materializing a dictionary per row.
+    """
+
+    __slots__ = ("_layout", "_values")
+
+    def __init__(self, layout: Mapping[str, int], values: Sequence[Any]) -> None:
+        self._layout = layout
+        self._values = values
+
+    def __getitem__(self, name: str) -> Any:
+        return self._values[self._layout[name]]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        index = self._layout.get(name)
+        return default if index is None else self._values[index]
+
+    def __iter__(self):
+        return iter(self._layout)
+
+    def __len__(self) -> int:
+        return len(self._layout)
+
+
+def _missing_column(name: str) -> CompiledExpr:
+    def raise_missing(values: Sequence[Any], parameters: Mapping[str, Any] | None) -> Any:
+        raise EvaluationError(f"column {name!r} not present in tuple")
+
+    return raise_missing
+
+
+_ARITHMETIC_FUNCTIONS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+}
+
+
+def _normalize_boolean(value: Any) -> Any:
+    return value if (value is None or isinstance(value, bool)) else bool(value)
+
+
+def compile_expr(expression: Expression, layout: Mapping[str, int]) -> CompiledExpr:
+    """Compile ``expression`` once into a closure over slot rows.
+
+    ``layout`` maps column names to slot indexes of the input tuples.  The
+    returned callable is invoked as ``fn(values, parameters)`` per row.
+    Column references missing from the layout compile to a closure raising
+    :class:`~repro.errors.EvaluationError` *at call time*, matching the
+    interpreter (which only fails when the expression is actually evaluated).
+    Expression types without a dedicated compiled form (e.g. the pushdown
+    stage's ``NodesDiffer``) fall back to their interpreted ``evaluate``
+    over a :class:`SlotView`, or may supply a ``compile_slots(layout)`` hook.
+    """
+    compile_slots = getattr(expression, "compile_slots", None)
+    if compile_slots is not None:
+        return compile_slots(layout)
+
+    if isinstance(expression, ColumnRef):
+        index = layout.get(expression.name)
+        if index is None:
+            return _missing_column(expression.name)
+        return lambda values, parameters, _i=index: values[_i]
+
+    if isinstance(expression, Constant):
+        value = expression.value
+        return lambda values, parameters, _v=value: _v
+
+    if isinstance(expression, Parameter):
+        name = expression.name
+
+        def parameter(values: Sequence[Any], parameters: Mapping[str, Any] | None) -> Any:
+            if parameters is None or name not in parameters:
+                raise EvaluationError(f"unbound parameter {name!r}")
+            return parameters[name]
+
+        return parameter
+
+    if isinstance(expression, Comparison):
+        comparator = _COMPARATORS[expression.op]
+        left = compile_expr(expression.left, layout)
+        right = compile_expr(expression.right, layout)
+        return lambda values, parameters: comparator(
+            _atomic(left(values, parameters)), _atomic(right(values, parameters))
+        )
+
+    if isinstance(expression, BooleanExpr):
+        operands = [compile_expr(operand, layout) for operand in expression.operands]
+        if expression.op == "not":
+            first = operands[0]
+            return lambda values, parameters: sql_not(
+                _normalize_boolean(first(values, parameters))
+            )
+        combine = sql_and if expression.op == "and" else sql_or
+
+        def boolean(values: Sequence[Any], parameters: Mapping[str, Any] | None) -> Any:
+            result = _normalize_boolean(operands[0](values, parameters))
+            for operand in operands[1:]:
+                result = combine(result, _normalize_boolean(operand(values, parameters)))
+            return result
+
+        return boolean
+
+    if isinstance(expression, Arithmetic):
+        function = _ARITHMETIC_FUNCTIONS.get(expression.op)
+        left = compile_expr(expression.left, layout)
+        right = compile_expr(expression.right, layout)
+        op = expression.op
+        if function is None:
+            def unknown(values: Sequence[Any], parameters: Mapping[str, Any] | None) -> Any:
+                raise EvaluationError(f"unknown arithmetic operator {op!r}")
+
+            return unknown
+
+        def arithmetic(values: Sequence[Any], parameters: Mapping[str, Any] | None) -> Any:
+            a = _atomic(left(values, parameters))
+            b = _atomic(right(values, parameters))
+            if a is None or b is None:
+                return None
+            try:
+                return function(a, b)
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"arithmetic type error: {a!r} {op} {b!r}"
+                ) from exc
+
+        return arithmetic
+
+    if isinstance(expression, IsNull):
+        operand = compile_expr(expression.operand, layout)
+        if expression.negate:
+            return lambda values, parameters: operand(values, parameters) is not None
+        return lambda values, parameters: operand(values, parameters) is None
+
+    if isinstance(expression, TextConstructor):
+        value = compile_expr(expression.value, layout)
+
+        def text(values: Sequence[Any], parameters: Mapping[str, Any] | None) -> Any:
+            result = value(values, parameters)
+            return Text("" if result is None else result)
+
+        return text
+
+    if isinstance(expression, ElementConstructor):
+        attributes = [
+            (attribute.name, compile_expr(attribute.value, layout))
+            for attribute in expression.attributes
+        ]
+        children = [compile_expr(child, layout) for child in expression.children]
+        if expression.child_labels and len(expression.child_labels) == len(expression.children):
+            labels: Sequence[str | None] = expression.child_labels
+        else:
+            labels = [None] * len(expression.children)
+        name = expression.name
+        labelled = list(zip(labels, children))
+
+        def element(values: Sequence[Any], parameters: Mapping[str, Any] | None) -> Any:
+            node = Element(name)
+            for attribute_name, attribute_value in attributes:
+                value = attribute_value(values, parameters)
+                node.set_attribute(attribute_name, "" if value is None else value)
+            for label, child in labelled:
+                value = child(values, parameters)
+                if value is None:
+                    if label is not None:
+                        node.append(Element(label))
+                    continue
+                if label is not None:
+                    wrapped = Element(label)
+                    wrapped.append(value)
+                    node.append(wrapped)
+                else:
+                    node.append(value)
+            return node
+
+        return element
+
+    # Fallback: interpreted evaluation over a slot view (custom expressions).
+    return lambda values, parameters: expression.evaluate(
+        SlotView(layout, values), parameters
+    )
+
+
+def compile_predicate(
+    expression: Expression, layout: Mapping[str, int]
+) -> Callable[[Sequence[Any], Mapping[str, Any] | None], bool]:
+    """Compile a predicate with WHERE semantics (NULL/unknown counts as false)."""
+    compiled = compile_expr(expression, layout)
+
+    def holds(values: Sequence[Any], parameters: Mapping[str, Any] | None) -> bool:
+        value = compiled(values, parameters)
+        if isinstance(value, bool) or value is None:
+            return is_truthy(value)
+        return bool(value)
+
+    return holds
+
+
+def expression_uses_parameters(expression: Expression) -> bool:
+    """Whether evaluating ``expression`` may read the parameter bindings.
+
+    Used by the result cache to exclude parameter-dependent subplans from
+    cross-firing reuse.  Unknown expression types are conservatively assumed
+    to use parameters (they cannot be inspected).
+    """
+    if isinstance(expression, Parameter):
+        return True
+    if isinstance(expression, (ColumnRef, Constant)):
+        return False
+    if isinstance(expression, (Comparison, Arithmetic)):
+        return expression_uses_parameters(expression.left) or expression_uses_parameters(
+            expression.right
+        )
+    if isinstance(expression, BooleanExpr):
+        return any(expression_uses_parameters(operand) for operand in expression.operands)
+    if isinstance(expression, IsNull):
+        return expression_uses_parameters(expression.operand)
+    if isinstance(expression, TextConstructor):
+        return expression_uses_parameters(expression.value)
+    if isinstance(expression, ElementConstructor):
+        return any(
+            expression_uses_parameters(attribute.value) for attribute in expression.attributes
+        ) or any(expression_uses_parameters(child) for child in expression.children)
+    return True

@@ -190,3 +190,37 @@ class TestTransitionTable:
 
     def test_empty_transition_table_is_falsy(self):
         assert not TransitionTable(product_schema(), [])
+
+    def test_keys_without_primary_key_raises_schema_error(self):
+        """PK-less schemas must fail loudly, not return a bogus {()} set."""
+        schema = TableSchema(
+            "log", [Column("message", DataType.TEXT)], primary_key=None
+        )
+        transition = TransitionTable(schema, [("hello",)])
+        with pytest.raises(SchemaError, match="no primary key"):
+            transition.keys()
+
+    def test_keys_without_primary_key_raises_even_when_empty(self):
+        schema = TableSchema("log", [Column("message", DataType.TEXT)])
+        with pytest.raises(SchemaError, match="no primary key"):
+            TransitionTable(schema, []).keys()
+
+
+class TestTableVersions:
+    def test_every_mutation_path_advances_the_version(self):
+        table = Table(product_schema())
+        versions = [table.version]
+        table.insert_row({"pid": "P1", "pname": "CRT", "mfr": "m"})
+        versions.append(table.version)
+        table.update_where(
+            lambda row: row["pid"] == "P1", lambda row: {"pname": "LCD"}
+        )
+        versions.append(table.version)
+        table.delete_key(("P1",))
+        versions.append(table.version)
+        assert versions == sorted(set(versions)), "versions must be strictly monotonic"
+
+    def test_version_stamp_is_unique_per_table_instance(self):
+        first = Table(product_schema())
+        second = Table(product_schema())
+        assert first.version_stamp != second.version_stamp

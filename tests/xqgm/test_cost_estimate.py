@@ -1,0 +1,117 @@
+"""Join-order selection: the inner-join input cost estimate (both engines).
+
+`_input_cost_estimate` orders an inner join's inputs: delta-driven subtrees
+first (they drive the join), bare base-table scans last (so the index-probe
+path can kick in).  Before PR 4 any unmemoized intermediate ranked a flat
+``(1, 0)`` regardless of cardinality; the estimate now derives rank and a
+cardinality bound from the subtree, so a Select over a delta scan sorts with
+the deltas and a GroupBy over a big base table sinks toward the probe end.
+"""
+
+import pytest
+
+from repro.relational.dml import UpdateStatement
+from repro.relational.triggers import TriggerContext, TriggerEvent
+from repro.xqgm import (
+    AggregateSpec,
+    ColumnRef,
+    Comparison,
+    Constant,
+    EvaluationContext,
+    GroupByOp,
+    JoinOp,
+    ProjectOp,
+    SelectOp,
+    TableOp,
+    TableVariant,
+    evaluate,
+)
+from repro.xqgm.evaluate import _input_cost_estimate
+
+from tests.conftest import build_paper_database
+
+
+@pytest.fixture
+def db():
+    return build_paper_database()
+
+
+def vendor(db, variant=TableVariant.CURRENT, alias="V"):
+    return TableOp("vendor", alias, db.schema("vendor").column_names, variant)
+
+
+def test_intermediates_inherit_subtree_cardinality(db):
+    context = EvaluationContext(db)
+    memo: dict = {}
+
+    delta_scan = vendor(db, TableVariant.DELTA_INSERTED)
+    select_over_delta = SelectOp(
+        delta_scan, Comparison("=", ColumnRef("V.pid"), Constant("P1"))
+    )
+    base_scan = vendor(db)
+    groupby_over_base = GroupByOp(base_scan, ["V.pid"], [AggregateSpec("n", "count")])
+
+    # Delta-driven intermediates rank with the deltas (rank 0, ~0 rows)...
+    assert _input_cost_estimate(select_over_delta, context, memo) == (0, 0)
+    # ...while intermediates over base tables carry the table's size at the
+    # intermediate rank (1), no longer a flat (1, 0).
+    assert _input_cost_estimate(groupby_over_base, context, memo) == (
+        1, len(db.table("vendor")),
+    )
+    # Bare base-table scans stay last (probe-friendly rank 2).
+    assert _input_cost_estimate(base_scan, context, memo) == (2, len(db.table("vendor")))
+    # Memoized results report their exact cardinality at rank 0.
+    memo[groupby_over_base.id] = [{"V.pid": "P1", "n": 3}]
+    assert _input_cost_estimate(groupby_over_base, context, memo) == (0, 1)
+
+
+def test_join_is_bounded_by_smallest_leg(db):
+    context = EvaluationContext(db)
+    joined = JoinOp(
+        [vendor(db, TableVariant.DELTA_INSERTED), vendor(db, alias="W")],
+        equi_pairs=[("V.pid", "W.pid")],
+    )
+    assert _input_cost_estimate(joined, context, {}) == (0, 0)
+
+
+def test_union_is_bounded_by_the_sum_of_its_branches(db):
+    from repro.xqgm import UnionOp
+
+    context = EvaluationContext(db)
+    left = ProjectOp(vendor(db), [("pid", ColumnRef("V.pid"))])
+    right = ProjectOp(
+        TableOp("product", "P", db.schema("product").column_names),
+        [("pid", ColumnRef("P.pid"))],
+    )
+    union = UnionOp([left, right], columns=["pid"])
+    # A union can only grow: its bound is the sum of the branches, not the
+    # smallest one — so a big union sinks behind genuinely small inputs.
+    assert _input_cost_estimate(union, context, {}) == (
+        1, len(db.table("vendor")) + len(db.table("product")),
+    )
+
+
+def test_join_order_probes_base_table_behind_intermediate(db):
+    """Pinned plan shape: the delta-driven intermediate drives, the bare
+    base-table scan comes last and is consumed through an index probe."""
+    statement = UpdateStatement("vendor", {"price": 999.0},
+                                where=lambda r: r["vid"] == "Amazon" and r["pid"] == "P1")
+    result = db.execute(statement, fire_triggers=False)
+    trigger_context = TriggerContext(
+        db, "vendor", TriggerEvent.UPDATE, result.inserted, result.deleted
+    )
+
+    delta_keys = ProjectOp(
+        vendor(db, TableVariant.DELTA_INSERTED), [("pid", ColumnRef("V.pid"))]
+    )
+    base = vendor(db, alias="W")
+    # Declared in probe-hostile order: the base scan first.  The cost
+    # estimate must reorder so the one-row delta side drives and the vendor
+    # scan (pid is indexed) is probed rather than scanned+hashed.
+    join = JoinOp([base, delta_keys], equi_pairs=[("pid", "W.pid")])
+
+    context = EvaluationContext(db, trigger_context, collect_stats=True)
+    rows = evaluate(join, context)
+    assert {row["W.vid"] for row in rows} == {"Amazon", "Bestbuy", "Circuitcity"}
+    assert context.stats.get("index_probes", 0) > 0
+    assert context.stats.get("hash_joins", 0) == 0
