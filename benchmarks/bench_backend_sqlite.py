@@ -1,0 +1,146 @@
+"""SQLite execution backend vs the in-memory engines on the Figure 17 stress.
+
+PR 5 adds :mod:`repro.backends.sqlite`: base tables are mirrored into
+SQLite via the commit-listener delta stream, and the generated trigger
+plans run there as lowered ``WITH ... SELECT`` statements (JSON node
+construction + a Python finishing pass).  This benchmark drives the same
+scaled Figure 17 trigger population as ``bench_eval_hotpath`` through all
+**three** engines —
+
+* ``interpreted`` — the dictionary-row oracle evaluator,
+* ``compiled``    — the slot-tuple physical plans with the result cache,
+* ``sqlite``      — the lowered statements executed inside SQLite,
+
+— and asserts two things: the activation logs are identical across engines
+(every plan lowered, zero fallbacks), and the backend's per-update cost
+stays within a sane constant factor of the interpreted evaluator.  The
+backend pays per firing for materializing transition temp tables and
+finishing JSON into XML, so it is not expected to beat the compiled
+engine; what matters is that a *real external engine* executes the
+translated SQL at comparable cost, which is the paper's actual deployment
+shape (triggers inside the RDBMS).
+
+Run with pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_backend_sqlite.py -q
+
+or standalone for the three-way comparison (records the trajectory)::
+
+    PYTHONPATH=src python -m benchmarks.bench_backend_sqlite
+"""
+
+import time
+
+from repro.core.service import ExecutionMode
+from repro.workloads import ExperimentHarness, WorkloadParameters
+
+from benchmarks.common import BENCH_SCALE, record_result
+
+#: Figure-17-style population (scaled), same shape as the hot-path gate.
+BACKEND_PARAMETERS = WorkloadParameters(
+    depth=2,
+    leaf_tuples=max(256, int(4_096 * BENCH_SCALE)),
+    fanout=32,
+    num_triggers=max(8, int(50 * BENCH_SCALE)),
+    satisfied_triggers=min(20, max(4, int(20 * BENCH_SCALE))),
+    seed=42,
+)
+
+_CHECK_STATEMENTS = 30
+_WARMUP_STATEMENTS = 5
+
+#: The backend must stay within this factor of the interpreted evaluator
+#: per update (generous: it covers temp-table churn, JSON finishing, and
+#: scheduler noise on a loaded CI runner, while still catching an
+#: accidental O(table) scan slipping into the per-firing path).
+_MAX_SLOWDOWN_VS_INTERPRETED = 8.0
+
+
+def _run(engine: str, parameters: WorkloadParameters = BACKEND_PARAMETERS,
+         statements: int = _CHECK_STATEMENTS, mode=ExecutionMode.GROUPED_AGG):
+    """Time ``statements`` updates on one engine; returns (seconds, log, setup)."""
+    harness = ExperimentHarness(parameters, updates=1)
+    setup = harness.build_setup(
+        parameters,
+        mode,
+        use_compiled_plans=(engine == "compiled"),
+        backend="sqlite" if engine == "sqlite" else None,
+    )
+    if engine == "sqlite":
+        errors = setup.service.backend_lowering_errors()
+        assert not errors, f"lowering fallbacks would skew the comparison: {errors}"
+    pool = setup.workload.update_statements(
+        statements + _WARMUP_STATEMENTS, setup.database
+    )
+    for statement in pool[:_WARMUP_STATEMENTS]:
+        setup.run_statement(statement)
+    mark = len(setup.service.fired)
+    started = time.perf_counter()
+    for statement in pool[_WARMUP_STATEMENTS:]:
+        setup.run_statement(statement)
+    elapsed = time.perf_counter() - started
+    log = sorted((f.trigger, f.key) for f in setup.service.fired[mark:])
+    return elapsed, log, setup
+
+
+def test_sqlite_backend_matches_in_memory_engines():
+    """Acceptance gate: identical activations, all plans lowered, no fallback."""
+    _, interpreted_log, _ = _run("interpreted")
+    _, compiled_log, _ = _run("compiled")
+    _, sqlite_log, setup = _run("sqlite")
+    assert sqlite_log == interpreted_log == compiled_log
+    assert sqlite_log, "the gate is vacuous if nothing fired"
+    report = setup.service.evaluation_report()
+    assert report["backend_lowering_fallbacks"] == 0
+    assert report["backend_statements"] > 0
+
+
+def test_sqlite_backend_cost_is_bounded():
+    """The external engine stays within a constant factor of the oracle."""
+    best = float("inf")
+    for _ in range(3):  # best-of-3 shields the ratio from scheduler noise
+        interpreted, _, _ = _run("interpreted")
+        on_sqlite, _, _ = _run("sqlite")
+        best = min(best, on_sqlite / interpreted)
+        if best <= _MAX_SLOWDOWN_VS_INTERPRETED / 2:
+            break
+    assert best <= _MAX_SLOWDOWN_VS_INTERPRETED, (
+        f"sqlite backend is {best:.1f}x the interpreted evaluator "
+        f"(allowed {_MAX_SLOWDOWN_VS_INTERPRETED}x)"
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    record: dict = {
+        "statements": _CHECK_STATEMENTS,
+        "num_triggers": BACKEND_PARAMETERS.num_triggers,
+    }
+    logs = {}
+    for engine in ("interpreted", "compiled", "sqlite"):
+        elapsed, log, setup = _run(engine)
+        logs[engine] = log
+        extra = ""
+        if engine == "sqlite":
+            report = setup.service.evaluation_report()
+            extra = (
+                f"   backend stmts {report['backend_statements']}"
+                f"   fallbacks {report['backend_lowering_fallbacks']}"
+            )
+        print(
+            f"{engine:>12}: {_CHECK_STATEMENTS} updates, {len(log)} firings  "
+            f"{elapsed * 1000:8.1f} ms  "
+            f"({elapsed * 1000 / _CHECK_STATEMENTS:6.2f} ms/update){extra}"
+        )
+        record[f"{engine}_ms"] = round(elapsed * 1000, 2)
+    assert logs["interpreted"] == logs["compiled"] == logs["sqlite"]
+    print("equivalence (interpreted == compiled == sqlite activations): OK")
+    test_sqlite_backend_cost_is_bounded()
+    print(f"cost-bound assertion (<= {_MAX_SLOWDOWN_VS_INTERPRETED}x interpreted): OK")
+    print("trajectory:", record_result(
+        "backend_sqlite", record,
+        headline="sqlite_ms", higher_is_better=False,
+    ))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -28,13 +28,12 @@ or standalone for a quick text comparison (also asserts the >= 2x speedup)::
     PYTHONPATH=src python -m benchmarks.bench_batch_throughput
 """
 
-import statistics
 import time
 
 import pytest
 
 from repro.core.service import ExecutionMode
-from benchmarks.common import BENCH_DEFAULTS, BatchRunner, build_setup, time_batches
+from benchmarks.common import BENCH_DEFAULTS, build_setup, time_batches
 
 BATCH_SIZES = [5, 20, 100]
 
@@ -108,7 +107,10 @@ def main() -> None:  # pragma: no cover - CLI convenience
         }
     test_batched_beats_per_statement_by_2x()
     print("speedup assertion (>= 2x): OK")
-    print("trajectory:", record_result("batch_throughput", record))
+    print("trajectory:", record_result(
+        "batch_throughput", record,
+        headline="grouped_agg.batched_ms", higher_is_better=False,
+    ))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -108,7 +108,10 @@ def main() -> None:  # pragma: no cover - CLI convenience
     ratio = results[-1][1] / base
     assert ratio >= 3.0, f"8 shards only {ratio:.2f}x the 1-shard throughput"
     print("scaling assertion (>= 3x at 8 shards): OK")
-    print("trajectory:", record_result("concurrent_throughput", record))
+    print("trajectory:", record_result(
+        "concurrent_throughput", record,
+        headline="shards_8.stmt_per_s", higher_is_better=True,
+    ))
 
 
 if __name__ == "__main__":  # pragma: no cover

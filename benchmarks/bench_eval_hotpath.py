@@ -158,7 +158,10 @@ def main() -> None:  # pragma: no cover - CLI convenience
     print("hot-path assertion (>= 3x on the ungrouped Figure 17 stress): OK")
     test_compiled_no_regression_grouped_agg()
     print("no-regression assertion (grouped_agg): OK")
-    print("trajectory:", record_result("eval_hotpath", record))
+    print("trajectory:", record_result(
+        "eval_hotpath", record,
+        headline="ungrouped.compiled_ms", higher_is_better=False,
+    ))
 
 
 if __name__ == "__main__":  # pragma: no cover

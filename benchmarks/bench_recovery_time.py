@@ -151,7 +151,10 @@ def main() -> None:  # pragma: no cover - CLI convenience
         "full_wal_ms": round(long_wal * 1000, 2),
         "after_snapshot_ms": round(snap * 1000, 2),
     }
-    print("trajectory:", record_result("recovery_time", record))
+    print("trajectory:", record_result(
+        "recovery_time", record,
+        headline="full_wal_ms", higher_is_better=False,
+    ))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,7 +32,7 @@ import time
 import pytest
 
 from repro.core.service import ExecutionMode
-from benchmarks.common import BENCH_DEFAULTS, StatementRunner, build_setup
+from benchmarks.common import BENCH_DEFAULTS, StatementRunner
 
 from repro.workloads import ExperimentHarness
 
@@ -116,7 +116,10 @@ def main() -> None:  # pragma: no cover - CLI convenience
         }
     test_wal_on_within_25_percent()
     print("overhead assertion (<= 1.25x at sync=flush): OK")
-    print("trajectory:", record_result("wal_overhead", record))
+    print("trajectory:", record_result(
+        "wal_overhead", record,
+        headline="sync_flush.wal_on_ms", higher_is_better=False,
+    ))
 
 
 if __name__ == "__main__":  # pragma: no cover

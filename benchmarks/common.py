@@ -18,7 +18,7 @@ import pathlib
 import time
 
 from repro.core.service import ExecutionMode
-from repro.workloads import ExperimentHarness, HierarchyWorkload, WorkloadParameters
+from repro.workloads import ExperimentHarness, WorkloadParameters
 
 #: Multiplier applied to the scaled-down benchmark sizes.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -30,7 +30,8 @@ RESULTS_DIR = os.environ.get("REPRO_BENCH_RESULTS", "benchmarks/results")
 
 
 def record_result(name: str, record: dict, *, timestamp: str | None = None,
-                  results_dir: str | None = None) -> pathlib.Path:
+                  results_dir: str | None = None, headline: str | None = None,
+                  higher_is_better: bool = False) -> pathlib.Path:
     """Append one benchmark run's numbers to ``BENCH_<name>.json``.
 
     The file holds a JSON list — one entry per run, appended, never
@@ -39,7 +40,17 @@ def record_result(name: str, record: dict, *, timestamp: str | None = None,
     entry carries a timestamp (``timestamp=`` argument, else the
     ``REPRO_BENCH_TIMESTAMP`` environment variable — useful to stamp a whole
     CI run coherently — else the current UTC time), the active
-    ``REPRO_BENCH_SCALE``, and the benchmark's own numbers.
+    ``REPRO_BENCH_SCALE``, the git commit being measured (the
+    ``REPRO_BENCH_GIT_SHA`` environment variable, which CI sets to the
+    workflow's SHA so the regression gate can attribute points to commits),
+    and the benchmark's own numbers.
+
+    ``headline`` names the record key (dots descend into nested dicts, e.g.
+    ``"ungrouped.compiled_ms"``) that summarizes this benchmark's
+    performance; ``tools/check_bench_regression.py`` compares that metric
+    across trajectory entries and fails CI on a large regression.
+    ``higher_is_better`` states the metric's direction (throughputs vs
+    latencies).
     """
     directory = pathlib.Path(results_dir or RESULTS_DIR)
     directory.mkdir(parents=True, exist_ok=True)
@@ -61,7 +72,13 @@ def record_result(name: str, record: dict, *, timestamp: str | None = None,
         timestamp = os.environ.get("REPRO_BENCH_TIMESTAMP")
     if timestamp is None:
         timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-    trajectory.append({"timestamp": timestamp, "scale": BENCH_SCALE, **record})
+    entry = {"timestamp": timestamp, "scale": BENCH_SCALE, **record}
+    git_sha = os.environ.get("REPRO_BENCH_GIT_SHA")
+    if git_sha:
+        entry["git_sha"] = git_sha
+    if headline is not None:
+        entry["_headline"] = {"metric": headline, "higher_is_better": higher_is_better}
+    trajectory.append(entry)
     path.write_text(json.dumps(trajectory, indent=2, default=str) + "\n", encoding="utf-8")
     return path
 

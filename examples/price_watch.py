@@ -15,7 +15,6 @@ from __future__ import annotations
 import random
 
 from repro.core.service import ActiveViewService, ExecutionMode
-from repro.xmlmodel import serialize
 from repro.xqgm.views import catalog_view
 
 try:

@@ -1,0 +1,18 @@
+"""Execution backends: run the generated trigger SQL on an external engine.
+
+See :mod:`repro.backends.base` for the :class:`Backend` protocol and
+:mod:`repro.backends.sqlite` for the SQLite implementation; the full
+lowering rules live in ``docs/backends.md``.
+"""
+
+from repro.backends.base import Backend, BackendError, BackendLoweringError, create_backend
+from repro.backends.sqlite import SqliteBackend, finish_node
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "BackendLoweringError",
+    "create_backend",
+    "SqliteBackend",
+    "finish_node",
+]

@@ -24,16 +24,15 @@ variants (semi-join pushdown of the affected keys, GROUPED-AGG compensation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.errors import TriggerCompilationError
 from repro.relational.database import Database
 from repro.relational.schema import TableSchema
 from repro.relational.triggers import TriggerEvent
-from repro.xmlmodel.node import XmlNode
 from repro.xqgm.expressions import ColumnRef, Expression
-from repro.xqgm.graph import clone_graph, replace_table_variant
+from repro.xqgm.graph import replace_table_variant
 from repro.xqgm.keys import derive_keys
 from repro.xqgm.operators import (
     JoinKind,

@@ -13,7 +13,7 @@ and diff them by canonical key).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import Iterable
 
 from repro.errors import TriggerError
 from repro.relational.database import Database

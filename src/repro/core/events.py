@@ -16,7 +16,7 @@ example, that an UPDATE of ``product.mfr`` cannot affect the catalog view
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from repro.errors import TriggerCompilationError
 from repro.relational.triggers import TriggerEvent

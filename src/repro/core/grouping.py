@@ -28,7 +28,7 @@ is done exactly once regardless of how many XML triggers are registered.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable
 
 from repro.errors import TriggerCompilationError
 from repro.xmlmodel.xpath import XPath, split_constants

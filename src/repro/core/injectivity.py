@@ -25,13 +25,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.xqgm.expressions import (
-    AggregateSpec,
-    ColumnRef,
-    ElementConstructor,
-    Expression,
-    TextConstructor,
-)
+from repro.xqgm.expressions import ColumnRef, ElementConstructor, Expression, TextConstructor
 from repro.xqgm.operators import (
     ConstantsOp,
     GroupByOp,

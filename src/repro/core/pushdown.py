@@ -29,7 +29,7 @@ SQL rendering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from repro.errors import TriggerCompilationError
@@ -37,10 +37,9 @@ from repro.relational.database import Database
 from repro.relational.triggers import TriggerContext, TriggerEvent
 from repro.xqgm.expressions import AttributeSpec, ColumnRef, ElementConstructor, Expression
 from repro.xqgm.evaluate import EvaluationContext, evaluate
-from repro.xqgm.graph import ensure_columns, replace_table_variant
+from repro.xqgm.graph import ensure_columns
 from repro.xqgm.physical import PhysicalPlan, ResultCache, compile_plan
-from repro.xqgm.keys import derive_keys
-from repro.xqgm.operators import JoinKind, JoinOp, Operator, ProjectOp, SelectOp, TableVariant
+from repro.xqgm.operators import JoinKind, JoinOp, Operator, ProjectOp, SelectOp
 from repro.xqgm.rewrite import compensate_old_aggregates, prune_columns, push_semijoin
 from repro.xqgm.views import PathGraph, ViewElementSpec
 from repro.core.affected_nodes import (
@@ -51,10 +50,8 @@ from repro.core.affected_nodes import (
     create_an_graph,
     _final_projection,
     _node_side,
-    _union_affected_keys,
 )
-from repro.core.affected_keys import create_ak_graph
-from repro.core.events import RelationalEvent, events_by_table, get_source_events
+from repro.core.events import events_by_table, get_source_events
 from repro.core.injectivity import path_graph_is_injective
 from repro.core.sqlgen import render_sql_trigger
 

@@ -16,8 +16,8 @@ directly as the ground truth:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Mapping
+from dataclasses import dataclass
+from typing import Mapping
 
 from repro.errors import TriggerNotSpecifiableError
 from repro.relational.database import Database

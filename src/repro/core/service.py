@@ -33,9 +33,9 @@ import enum
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping
 
-from repro.errors import TriggerCompilationError, TriggerError
+from repro.errors import TriggerError
 from repro.relational.database import Database
 from repro.relational.dml import Batch, BatchResult, BulkLoad, Statement, StatementResult
 from repro.relational.triggers import StatementTrigger, TriggerContext, TriggerEvent
@@ -44,7 +44,7 @@ from repro.xmlmodel.xpath import XPath
 from repro.xqgm.physical import ResultCache
 from repro.xqgm.views import PathGraph, ViewDefinition
 from repro.core.activation import ActionRegistry, TriggerActivator
-from repro.core.grouping import ConstantsRow, TriggerGroup, group_triggers
+from repro.core.grouping import ConstantsRow, TriggerGroup
 from repro.core.language import parse_trigger
 from repro.core.pushdown import (
     CompiledTableTrigger,
@@ -189,6 +189,7 @@ class ActiveViewService:
         use_compiled_plans: bool = True,
         result_cache_size: int = 512,
         collect_eval_stats: bool = False,
+        backend: Any = None,
     ) -> None:
         self.database = database
         self.mode = mode
@@ -234,6 +235,23 @@ class ActiveViewService:
         self._ddl_listeners: list[Callable[[str, Any], None]] = []
         self._sql_trigger_counter = 0
         self.last_compile_seconds = 0.0
+        # Optional execution backend (repro.backends): mirrors the database
+        # into an external engine (e.g. SQLite) and runs the generated
+        # trigger statements there — the paper's Figure 16 architecture,
+        # where the RDBMS executes the translated SQL.  Translations the
+        # backend's dialect cannot express fall back to the in-memory
+        # engines above, per translation; the fallbacks are surfaced through
+        # :meth:`evaluation_report` so they can never go unnoticed.
+        self.backend = None
+        if backend is not None:
+            from repro.backends.base import create_backend
+
+            self.backend = create_backend(backend)
+            self.backend.attach(database)
+        # Backend plans cached by (plan key, table): like the PlanCache,
+        # structurally identical trigger groups share one lowered statement.
+        self._backend_plans: dict[tuple, Any] = {}
+        self._backend_errors: dict[tuple, str] = {}
 
     # ------------------------------------------------------------------ registration
 
@@ -272,8 +290,17 @@ class ActiveViewService:
         self._plan_cache.invalidate_view(name)
         # Cached subplan results of the dropped view's plans would never be
         # looked up again (recompiled plans carry fresh operator ids), but
-        # dropping them now returns the memory immediately.
+        # dropping them now returns the memory immediately.  Backend plans
+        # are keyed by the same (view, path, event, options) plan keys, so
+        # the dropped view's lowered statements (and any recorded lowering
+        # failures) are evicted alongside.
         self.result_cache.clear()
+        self._backend_plans = {
+            key: plan for key, plan in self._backend_plans.items() if key[0][0] != name
+        }
+        self._backend_errors = {
+            key: error for key, error in self._backend_errors.items() if key[0][0] != name
+        }
         self._emit_ddl("drop_view", name)
 
     def register_action(self, name: str, function: Callable[..., Any]) -> None:
@@ -349,7 +376,7 @@ class ActiveViewService:
         spec = parse_trigger(definition) if isinstance(definition, str) else definition
         if spec.name in self._triggers:
             raise TriggerError(f"trigger {spec.name!r} already exists")
-        view = self.view(spec.view)
+        self.view(spec.view)  # unknown views fail here, before any compilation
 
         signature = self._group_signature(spec)
         compiled = self._groups.get(signature)
@@ -465,6 +492,21 @@ class ActiveViewService:
         self._fired.clear()
         self.activator.reset_log()
 
+    def close(self) -> None:
+        """Release the execution backend, if any (idempotent).
+
+        The backend subscribes to the database's commit listeners at
+        construction; a service that is being discarded while its database
+        lives on must be closed, or the orphaned mirror would keep replaying
+        every subsequent commit.  Services without a backend need no
+        teardown (``close`` is then a no-op).
+        """
+        if self.backend is not None:
+            self.backend.close()
+            self.backend = None
+            self._backend_plans.clear()
+            self._backend_errors.clear()
+
     def evaluation_report(self) -> dict[str, int]:
         """Evaluation counters plus result-cache statistics.
 
@@ -484,7 +526,22 @@ class ActiveViewService:
             for translation in compiled.translations.values()
             if translation.physical_plan is None
         )
+        if self.backend is not None:
+            report["backend_plans"] = len(self._backend_plans)
+            report["backend_lowering_fallbacks"] = len(self._backend_errors)
+            report["backend_statements"] = getattr(
+                self.backend, "statements_executed", 0
+            )
         return report
+
+    def backend_lowering_errors(self) -> dict[tuple, str]:
+        """Per-(plan key, table) lowering errors of the execution backend.
+
+        Non-empty means some translations run on the in-memory fallback
+        engines instead of the backend; the property suite asserts this is
+        empty so backend equivalence can never pass vacuously.
+        """
+        return dict(self._backend_errors)
 
     # ------------------------------------------------------------------ internals
 
@@ -554,6 +611,7 @@ class ActiveViewService:
             condition=group.parameterized_condition(),
             arguments=group.parameterized_arguments(),
         )
+        backend_plans = self._prepare_backend_plans(plan_key, translations)
         for table, translation in translations.items():
             self._sql_trigger_counter += 1
             sql_name = f"sqlTrigger{self._sql_trigger_counter}_{table}"
@@ -561,7 +619,9 @@ class ActiveViewService:
                 name=sql_name,
                 table=table,
                 events=translation.sql_events,
-                body=self._make_trigger_body(compiled, translation),
+                body=self._make_trigger_body(
+                    compiled, translation, backend_plans.get(table)
+                ),
                 sql_text=translation.sql_text,
                 metadata={
                     "xml_trigger_group": group.signature,
@@ -573,23 +633,65 @@ class ActiveViewService:
             compiled.sql_trigger_names.append(sql_name)
         return compiled
 
+    def _prepare_backend_plans(
+        self, plan_key: tuple, translations: dict[str, CompiledTableTrigger]
+    ) -> dict[str, Any]:
+        """Lower the group's translations on the execution backend, if any.
+
+        Prepared statements are cached by ``(plan key, table)`` — mirroring
+        the :class:`PlanCache` sharing — and a translation whose lowering
+        fails is recorded once and permanently served by the in-memory
+        engines instead (the fallback count is in :meth:`evaluation_report`).
+        """
+        if self.backend is None:
+            return {}
+        from repro.backends.base import BackendLoweringError
+
+        plans: dict[str, Any] = {}
+        for table, translation in translations.items():
+            cache_key = (plan_key, table)
+            if cache_key in self._backend_errors:
+                continue
+            plan = self._backend_plans.get(cache_key)
+            if plan is None:
+                try:
+                    plan = self.backend.prepare(translation)
+                except BackendLoweringError as error:
+                    self._backend_errors[cache_key] = str(error)
+                    continue
+                self._backend_plans[cache_key] = plan
+            plans[table] = plan
+        return plans
+
     def _make_trigger_body(
-        self, compiled: _CompiledGroup, translation: CompiledTableTrigger
+        self,
+        compiled: _CompiledGroup,
+        translation: CompiledTableTrigger,
+        backend_plan: Any = None,
     ) -> Callable[[TriggerContext], None]:
         def body(context: TriggerContext) -> None:
-            # CONTEXT-level (statement-shared) caching pays off when work can
-            # repeat within one firing: several trigger groups evaluating
-            # shared subgraphs per statement.  With a single group each plan
-            # runs once per firing, so only cross-statement STABLE reuse is
-            # worth its bookkeeping — CONTEXT stamping is switched off.
-            pairs = translation.affected_pairs(
-                self.database,
-                context,
-                use_compiled=self.use_compiled_plans,
-                result_cache=self.result_cache if self.use_compiled_plans else None,
-                cache_context_results=len(self._groups) > 1,
-                stats=self.eval_stats if self.collect_eval_stats else None,
-            )
+            # self.backend is re-read per firing: after close() the in-memory
+            # engines take over (the mirror is gone).
+            if backend_plan is not None and self.backend is not None:
+                # Figure 16 for real: the lowered statement runs inside the
+                # backend engine against its mirrored tables (the commit
+                # listener updated them before this trigger fired).
+                pairs = self.backend.affected_pairs(backend_plan, context)
+            else:
+                # CONTEXT-level (statement-shared) caching pays off when work
+                # can repeat within one firing: several trigger groups
+                # evaluating shared subgraphs per statement.  With a single
+                # group each plan runs once per firing, so only
+                # cross-statement STABLE reuse is worth its bookkeeping —
+                # CONTEXT stamping is switched off.
+                pairs = translation.affected_pairs(
+                    self.database,
+                    context,
+                    use_compiled=self.use_compiled_plans,
+                    result_cache=self.result_cache if self.use_compiled_plans else None,
+                    cache_context_results=len(self._groups) > 1,
+                    stats=self.eval_stats if self.collect_eval_stats else None,
+                )
             if not pairs:
                 return
             self._activate_group(

@@ -14,8 +14,8 @@ attribute columns, and scalar content columns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.errors import XmlError
 from repro.xmlmodel.node import Element

@@ -8,8 +8,8 @@ function whose parameters are XQuery expressions over the same variables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import TriggerSyntaxError
 from repro.relational.triggers import TriggerEvent

@@ -10,7 +10,7 @@ on them, and the trigger pushdown builds indexes on them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import SchemaError, UnknownColumnError

@@ -21,7 +21,7 @@ import enum
 import itertools
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.relational.table import TransitionTable
 

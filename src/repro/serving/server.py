@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.service import ActiveViewService, ExecutionMode, FiredTrigger, PlanCache

@@ -19,8 +19,6 @@ generator produces:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Iterator, Sequence
 
 from repro.relational.database import Database
 from repro.relational.dml import DeleteStatement, InsertStatement, UpdateStatement

@@ -233,6 +233,7 @@ class ExperimentHarness:
         durability_sync: str = "flush",
         use_compiled_plans: bool = True,
         collect_eval_stats: bool = False,
+        backend: str | None = None,
     ) -> ExperimentSetup:
         """Create the database, view, triggers and chosen execution system.
 
@@ -249,6 +250,12 @@ class ExperimentHarness:
         evaluation-hot-path benchmark draws), and ``collect_eval_stats``
         enables the evaluation counters surfaced by
         :meth:`ExperimentSetup.evaluation_report`.
+
+        ``backend`` selects an execution backend by name (e.g. ``"sqlite"``)
+        and wires it through :class:`ActiveViewService`; the generated
+        trigger statements then run inside that engine against a mirrored
+        copy of the workload's tables (``benchmarks/bench_backend_sqlite.py``
+        compares all three engines this way).
         """
         workload = HierarchyWorkload(parameters)
         database = workload.build_database()
@@ -286,6 +293,7 @@ class ExperimentHarness:
             mode=mode,
             use_compiled_plans=use_compiled_plans,
             collect_eval_stats=collect_eval_stats,
+            backend=backend,
         )
         service.register_view(view)
         service.register_action(action, lambda node: collected.append(node))

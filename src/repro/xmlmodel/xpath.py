@@ -22,11 +22,11 @@ similar conditions can share one constants table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Sequence
 
 from repro.errors import XPathError
-from repro.xmlmodel.node import Attribute, Document, Element, Fragment, Text, XmlNode
+from repro.xmlmodel.node import Attribute, Document, Element, Fragment, XmlNode
 
 __all__ = [
     "XPath",

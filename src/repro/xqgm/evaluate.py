@@ -24,7 +24,6 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import EvaluationError
 from repro.relational.database import Database
-from repro.relational.table import TransitionTable
 from repro.relational.triggers import TriggerContext
 from repro.xqgm.expressions import predicate_holds
 from repro.xqgm.operators import (

@@ -11,7 +11,7 @@ including ``aggXMLFrag`` which concatenates XML values into a fragment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import EvaluationError

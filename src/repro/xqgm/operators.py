@@ -30,11 +30,10 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.errors import XqgmError
-from repro.xqgm.expressions import AggregateSpec, ColumnRef, Expression
+from repro.xqgm.expressions import AggregateSpec, Expression
 
 __all__ = [
     "TableVariant",

@@ -21,7 +21,7 @@ Two rewrites are provided:
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.errors import XqgmError
 from repro.xqgm.expressions import (

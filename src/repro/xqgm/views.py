@@ -23,13 +23,13 @@ The canonical catalog view of the paper is available via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 from repro.errors import XqgmError
 from repro.relational.database import Database
 from repro.relational.schema import TableSchema
-from repro.xmlmodel.node import Element, Fragment
+from repro.xmlmodel.node import Element
 from repro.xqgm.expressions import (
     AggregateSpec,
     AttributeSpec,

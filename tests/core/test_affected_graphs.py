@@ -5,7 +5,6 @@ import pytest
 from repro.errors import TriggerCompilationError
 from repro.relational import TriggerEvent
 from repro.relational.triggers import TriggerContext
-from repro.xmlmodel import serialize
 from repro.xqgm import EvaluationContext, TableVariant, evaluate
 from repro.xqgm.views import catalog_view
 from repro.core.affected_keys import create_ak_graph

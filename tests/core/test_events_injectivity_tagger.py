@@ -7,8 +7,7 @@ from repro.relational import TriggerEvent
 from repro.core.events import RelationalEvent, events_by_table, get_source_events
 from repro.core.injectivity import path_graph_is_injective, view_is_injective
 from repro.core.tagger import LEVEL_COLUMN, Tagger, TaggerLevel, TaggerSchema, tag_rows
-from repro.core.sqlgen import render_plan_sql, render_sql_trigger
-from repro.xmlmodel import serialize
+from repro.core.sqlgen import render_plan_sql
 from repro.xqgm import AggregateSpec, ColumnRef
 from repro.xqgm.views import ViewDefinition, ViewElementSpec, catalog_view
 

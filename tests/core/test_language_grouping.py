@@ -6,7 +6,6 @@ from repro.errors import TriggerSyntaxError
 from repro.relational import TriggerEvent
 from repro.core.language import parse_trigger
 from repro.core.grouping import group_triggers
-from repro.core.trigger import TriggerSpec
 
 
 PAPER_TRIGGER = """

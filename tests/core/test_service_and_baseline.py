@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.relational import TriggerEvent
 from repro.core.baseline import MaterializedBaseline
 from repro.core.language import parse_trigger
 from repro.core.service import ActiveViewService, ExecutionMode

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.service import ExecutionMode
-from repro.workloads import ExperimentHarness, HierarchyWorkload, WorkloadParameters
+from repro.workloads import ExperimentHarness, WorkloadParameters
 
 PARAMS = WorkloadParameters(
     leaf_tuples=256, fanout=16, num_triggers=12, satisfied_triggers=3, seed=11

@@ -9,7 +9,6 @@ from repro.relational import (
     Database,
     DeleteStatement,
     ForeignKey,
-    InsertStatement,
     StatementTrigger,
     TableSchema,
     TriggerEvent,

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import EvaluationError
 from repro.relational import TriggerEvent
 from repro.relational.triggers import TriggerContext
-from repro.xmlmodel import serialize
 from repro.xqgm import (
     AggregateSpec,
     ColumnRef,

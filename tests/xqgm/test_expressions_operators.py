@@ -31,7 +31,6 @@ from repro.xqgm.expressions import AttributeSpec, predicate_holds
 from repro.xqgm.graph import replace_table_variant
 from repro.xqgm.operators import TableVariant
 
-from tests.conftest import build_paper_database
 
 
 class TestExpressions:

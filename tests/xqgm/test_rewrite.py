@@ -12,7 +12,6 @@ from repro.xqgm import (
     EvaluationContext,
     GroupByOp,
     JoinOp,
-    ProjectOp,
     SelectOp,
     TableOp,
     TableVariant,

@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the benchmark trajectory files.
+
+Every standalone benchmark appends one entry per run to
+``benchmarks/results/BENCH_<name>.json`` (see ``benchmarks/common.py``),
+including a ``_headline`` descriptor naming the entry key that summarizes
+the run (``{"metric": "ungrouped.compiled_ms", "higher_is_better": false}``)
+and the ``git_sha`` being measured (``REPRO_BENCH_GIT_SHA``).  This script
+compares the newest entry of each trajectory against its baseline and fails
+when the headline metric regressed by more than ``--threshold`` (default
+25%).
+
+Two baseline modes:
+
+* **same-file** (default): the baseline is the *median* of up to
+  ``--window`` entries preceding the newest one in the same file.  This is
+  the CI flow — the previous run's ``benchmarks/results`` directory is
+  restored (cache / ``bench-trajectories`` artifact) before the benchmarks
+  run, so each file holds history + the fresh entry.
+* **directory** (``--baseline DIR``): the baseline is the median of the
+  last ``--window`` entries of the same-named file under ``DIR`` — for
+  comparing a downloaded artifact against a fresh results directory.
+
+Entries recorded at a different ``REPRO_BENCH_SCALE``, and trajectories
+without a ``_headline``, are skipped (reported, never silently).  A missing
+baseline (first run, new benchmark) passes with a note.
+
+Usage::
+
+    python tools/check_bench_regression.py [--results DIR] [--baseline DIR]
+                                           [--threshold 0.25] [--window 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+from typing import Any
+
+
+def load_trajectory(path: pathlib.Path) -> list[dict]:
+    """Read one BENCH_*.json trajectory (a JSON list of run entries)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as error:
+        raise SystemExit(f"{path}: unreadable trajectory file: {error}")
+    if not isinstance(data, list):
+        raise SystemExit(f"{path}: expected a JSON list of run entries")
+    return data
+
+
+def extract_metric(entry: dict, metric: str) -> Any:
+    """Resolve a dot-path (``"ungrouped.compiled_ms"``) inside an entry."""
+    value: Any = entry
+    for part in metric.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value if isinstance(value, (int, float)) else None
+
+
+def check_file(
+    path: pathlib.Path,
+    baseline_dir: pathlib.Path | None,
+    threshold: float,
+    window: int,
+) -> tuple[str, str]:
+    """Check one trajectory; returns ``(status, message)``.
+
+    ``status`` is ``"ok"``, ``"skip"``, or ``"regression"``.
+    """
+    trajectory = load_trajectory(path)
+    if not trajectory:
+        return "skip", f"{path.name}: empty trajectory"
+    newest = trajectory[-1]
+    headline = newest.get("_headline")
+    if not isinstance(headline, dict) or "metric" not in headline:
+        return "skip", f"{path.name}: newest entry carries no _headline"
+    metric = headline["metric"]
+    higher_is_better = bool(headline.get("higher_is_better", False))
+    new_value = extract_metric(newest, metric)
+    if new_value is None:
+        return "skip", f"{path.name}: metric {metric!r} missing from newest entry"
+
+    if baseline_dir is not None:
+        baseline_path = baseline_dir / path.name
+        if not baseline_path.exists():
+            return "ok", f"{path.name}: no baseline file (new benchmark) — pass"
+        history = load_trajectory(baseline_path)
+    else:
+        history = trajectory[:-1]
+
+    comparable = [
+        value
+        for entry in history
+        if entry.get("scale") == newest.get("scale")
+        and isinstance(entry.get("_headline"), dict)
+        and entry["_headline"].get("metric") == metric
+        and (value := extract_metric(entry, metric)) is not None
+    ]
+    if not comparable:
+        return "ok", f"{path.name}: no comparable baseline entries — pass"
+    baseline = statistics.median(comparable[-window:])
+    if baseline == 0:
+        return "skip", f"{path.name}: zero baseline for {metric!r}"
+
+    if higher_is_better:
+        ratio = baseline / new_value if new_value else float("inf")
+        direction = "dropped"
+    else:
+        ratio = new_value / baseline
+        direction = "rose"
+    who = newest.get("git_sha", "<unstamped>")
+    detail = (
+        f"{path.name}: {metric} {direction} {baseline:g} -> {new_value:g} "
+        f"({ratio:.2f}x, threshold {1 + threshold:.2f}x, commit {who})"
+    )
+    if ratio > 1 + threshold:
+        return "regression", detail
+    return "ok", detail
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default="benchmarks/results",
+                        help="directory holding the fresh BENCH_*.json files")
+    parser.add_argument("--baseline", default=None,
+                        help="directory holding baseline BENCH_*.json files "
+                             "(default: compare within each results file)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25 = 25%%)")
+    parser.add_argument("--window", type=int, default=5,
+                        help="baseline entries to take the median over (default 5)")
+    args = parser.parse_args(argv)
+
+    results_dir = pathlib.Path(args.results)
+    baseline_dir = pathlib.Path(args.baseline) if args.baseline else None
+    files = sorted(results_dir.glob("BENCH_*.json"))
+    if not files:
+        print(f"check_bench_regression: no BENCH_*.json under {results_dir} — "
+              "nothing to gate")
+        return 0
+
+    regressions = []
+    for path in files:
+        status, message = check_file(path, baseline_dir, args.threshold, args.window)
+        print(f"[{status:>10}] {message}")
+        if status == "regression":
+            regressions.append(message)
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}:")
+        for message in regressions:
+            print("  " + message)
+        return 1
+    print(f"\nall {len(files)} trajectories within the {args.threshold:.0%} gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Decide which CI jobs a diff actually needs — currently the docs job.
+
+The docs job executes every Python block in ``README.md`` and ``docs/*.md``
+against the live API, so it must run whenever the docs themselves change
+*or* the public behaviour under them might have.  But a large class of
+``src`` changes — comment edits, formatting — cannot affect executed doc
+blocks.  This script compares the **AST** of each changed ``src`` Python
+file between the base and head revisions: comment-only (and
+whitespace-only) edits produce identical ASTs and let the docs job skip;
+any semantic change (docstrings included — they are part of the AST, and
+conservatism is the right failure mode here) triggers it.
+
+Anything that is not a ``src`` Python file is classified by path alone:
+docs / README / examples / the checker itself always need the job; test
+and benchmark churn never does.
+
+Usage (from CI)::
+
+    python tools/ci_paths.py --base <sha> --head <sha>
+
+Prints ``docs=true|false`` and appends the same line to ``$GITHUB_OUTPUT``
+when set.  Any git/parse error makes the answer ``true`` — the job runs
+when in doubt.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import pathlib
+import subprocess
+import sys
+
+#: Paths (prefix match) whose changes always require the docs job.
+_DOC_PATHS = ("README.md", "docs/", "examples/", "tools/check_docs.py")
+
+#: Paths whose changes never affect executed doc blocks.
+_IGNORED_PREFIXES = ("tests/", "benchmarks/", "tools/", ".github/")
+
+
+def _git(*args: str) -> str:
+    return subprocess.run(
+        ["git", *args], check=True, capture_output=True, text=True
+    ).stdout
+
+
+def _show(revision: str, path: str) -> str | None:
+    try:
+        return _git("show", f"{revision}:{path}")
+    except subprocess.CalledProcessError:
+        return None  # added/deleted at this revision
+
+
+def _ast_equal(base_text: str, head_text: str, path: str) -> bool:
+    try:
+        return ast.dump(ast.parse(base_text)) == ast.dump(ast.parse(head_text))
+    except SyntaxError:
+        print(f"ci_paths: {path}: unparseable at one revision — docs job runs",
+              file=sys.stderr)
+        return False
+
+
+def docs_needed(base: str, head: str) -> bool:
+    """Whether the docs drift check must run for the ``base...head`` diff."""
+    changed = [
+        line
+        for line in _git("diff", "--name-only", f"{base}...{head}").splitlines()
+        if line.strip()
+    ]
+    if not changed:
+        return False
+    for path in changed:
+        if path.startswith(_DOC_PATHS):
+            return True
+        if path.startswith(_IGNORED_PREFIXES):
+            continue
+        if not path.startswith("src/"):
+            # Top-level files (pyproject, requirements, ...) cannot change
+            # executed doc blocks.
+            continue
+        if not path.endswith(".py"):
+            return True
+        base_text = _show(base, path)
+        head_text = _show(head, path)
+        if base_text is None or head_text is None:
+            return True  # file added or removed under src/
+        if not _ast_equal(base_text, head_text, path):
+            return True
+    return False
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base", required=True, help="base revision (merge target)")
+    parser.add_argument("--head", required=True, help="head revision (the change)")
+    args = parser.parse_args(argv)
+    try:
+        needed = docs_needed(args.base, args.head)
+    except Exception as error:  # noqa: BLE001 - any failure means "run the job"
+        print(f"ci_paths: {error} — defaulting to docs=true", file=sys.stderr)
+        needed = True
+    line = f"docs={'true' if needed else 'false'}"
+    print(line)
+    output = os.environ.get("GITHUB_OUTPUT")
+    if output:
+        with pathlib.Path(output).open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
