@@ -1,0 +1,232 @@
+"""Matching scale: sublinear trigger matching vs the linear constants scan.
+
+The paper's trigger-scaling experiment (Figure 17) stops near 10^5 grouped
+triggers because — even with grouped *evaluation* — every statement still
+probed the constants table linearly: one parameterized-condition evaluation
+per registered constant set.  PR 6 adds the matching subsystem
+(:mod:`repro.matching`): per-group predicate indexes select the candidate
+constants rows in ~O(matching triggers), and ``register_triggers_bulk``
+builds the indexes once per batch.
+
+This benchmark sweeps the registered population (default 10^5 and 10^6;
+10^7 is opt-in via ``REPRO_BENCH_MATCHING_MAX=10000000``) over a fixed small
+database, so the only thing growing is the trigger population — exactly the
+Figure 17 axis, two decades past the paper's last point.  At every size it
+measures:
+
+* bulk registration throughput (triggers/second);
+* indexed per-statement matching cost (the ``headline_indexed_ms`` metric
+  gated by ``tools/check_bench_regression.py``);
+* the linear oracle's per-statement cost on the *same* service
+  (``use_matching_indexes = False`` — the scan the seed system performed).
+
+Gates (also asserted standalone):
+
+* per-statement indexed cost grows **<= 2x** from the smallest to the
+  largest swept size while the population grows 10x (the linear scan grows
+  >= 4x on the same sweep — it is the control that proves the sweep is
+  actually stressing matching);
+* with a single swept size (the CI smoke: ``REPRO_BENCH_MATCHING_MAX=100000``)
+  the indexed engine must be >= 5x faster than the linear scan;
+* both engines fire exactly the expected activations per statement and the
+  indexed run reports **zero** matching fallbacks.
+
+Run standalone::
+
+    PYTHONPATH=src python -m benchmarks.bench_matching_scale
+"""
+
+import os
+import time
+
+from repro.core.service import ActiveViewService, ExecutionMode
+from repro.core.trigger import TriggerSpec, XmlTriggerEvent
+from repro.workloads import HierarchyWorkload, WorkloadParameters
+
+from benchmarks.common import BENCH_SCALE, record_result
+
+#: Small fixed database: the sweep axis is the trigger population.
+_DB_PARAMETERS = WorkloadParameters(
+    depth=2,
+    leaf_tuples=2_048,
+    fanout=32,
+    num_triggers=1,
+    satisfied_triggers=1,
+    seed=42,
+)
+
+#: Triggers that actually match the update workload (Table 2's "satisfied").
+_SATISFIED = 4
+
+#: Swept population sizes; ``REPRO_BENCH_MATCHING_MAX`` truncates the sweep
+#: (CI smoke: 100000) or extends it (10000000 opts into the 10^7 point).
+_ALL_SIZES = (100_000, 1_000_000, 10_000_000)
+_MAX_SIZE = int(os.environ.get("REPRO_BENCH_MATCHING_MAX", "1000000"))
+
+_INDEXED_STATEMENTS = 30
+_LINEAR_STATEMENTS = 3
+_WARMUP_STATEMENTS = 4
+
+
+def swept_sizes() -> list[int]:
+    """The population sizes to sweep, after the cap and ``REPRO_BENCH_SCALE``."""
+    sizes = [size for size in _ALL_SIZES if size <= _MAX_SIZE]
+    if not sizes:
+        sizes = [_MAX_SIZE]
+    return [max(1_000, int(size * BENCH_SCALE)) for size in sizes]
+
+
+def build_population(workload: HierarchyWorkload, total: int) -> list[TriggerSpec]:
+    """A Figure-17-style population with mostly *distinct* equality constants.
+
+    The workload generator's population spreads constants over the top
+    elements (constants-table rows collapse by constant), which is the right
+    shape for evaluation benchmarks; a matching sweep needs one constants
+    row per trigger, so all but the ``_SATISFIED`` matching triggers get a
+    unique never-matching constant.
+    """
+    top = workload.level_element(0)
+    view_name = workload.parameters.view_name
+    specs = []
+    for index in range(total):
+        constant = (
+            workload.target_top_name if index < _SATISFIED else f"unmatched_{index}"
+        )
+        specs.append(
+            TriggerSpec(
+                name=f"t{index}",
+                event=XmlTriggerEvent.UPDATE,
+                view=view_name,
+                path=(top,),
+                condition=f"OLD_NODE/@name = '{constant}'",
+                action_name="collect",
+                action_args=("NEW_NODE",),
+            )
+        )
+    return specs
+
+
+def run_point(total: int) -> dict:
+    """Register ``total`` triggers, measure indexed and linear matching cost."""
+    workload = HierarchyWorkload(_DB_PARAMETERS)
+    database = workload.build_database()
+    service = ActiveViewService(database, ExecutionMode.GROUPED_AGG)
+    service.register_view(workload.build_view())
+    collected: list = []
+    service.register_action("collect", lambda node: collected.append(node))
+
+    specs = build_population(workload, total)
+    started = time.perf_counter()
+    service.register_triggers_bulk(specs)
+    register_seconds = time.perf_counter() - started
+
+    pool = workload.update_statements(
+        2 * _WARMUP_STATEMENTS + _INDEXED_STATEMENTS + _LINEAR_STATEMENTS + 1,
+        database,
+    )
+    statements = iter(pool)
+    expected = {spec.name for spec in specs[:_SATISFIED]}
+
+    def run_statements(count: int) -> float:
+        mark = len(service.fired)
+        elapsed = 0.0
+        for _ in range(count):
+            statement = next(statements)
+            t0 = time.perf_counter()
+            service.execute(statement)
+            elapsed += time.perf_counter() - t0
+        fired = service.fired[mark:]
+        # Every statement updates leaves under the monitored target element,
+        # so each one must activate exactly the satisfied triggers — in both
+        # engines.  (The property suite pins full equivalence; this pins the
+        # bench against silently matching nothing or everything.)
+        assert len(fired) == count * _SATISFIED, (
+            f"expected {count * _SATISFIED} activations, saw {len(fired)}"
+        )
+        assert {f.trigger for f in fired} == expected
+        return elapsed / count
+
+    for _ in range(_WARMUP_STATEMENTS):  # includes the one-off index build
+        service.execute(next(statements))
+    indexed_ms = run_statements(_INDEXED_STATEMENTS) * 1000
+
+    service.use_matching_indexes = False
+    service.execute(next(statements))  # builds the linear constants table
+    linear_ms = run_statements(_LINEAR_STATEMENTS) * 1000
+    service.use_matching_indexes = True
+
+    report = service.evaluation_report()
+    assert report["matching_fallbacks"] == 0, report
+    assert report["matching_probes"] > 0, report
+
+    return {
+        "triggers": total,
+        "register_seconds": round(register_seconds, 2),
+        "triggers_per_second": round(total / register_seconds),
+        "indexed_ms": round(indexed_ms, 3),
+        "linear_ms": round(linear_ms, 3),
+        "speedup": round(linear_ms / indexed_ms, 1),
+        "candidate_rows_per_probe": round(
+            report["matching_candidate_rows"] / report["matching_probes"], 2
+        ),
+    }
+
+
+def check_gates(points: list[dict]) -> None:
+    """The acceptance gates over one sweep's points."""
+    for point in points:
+        assert point["speedup"] >= 5.0, (
+            f"indexed matching only {point['speedup']}x the linear scan at "
+            f"{point['triggers']} triggers"
+        )
+    if len(points) >= 2:
+        first, last = points[0], points[-1]
+        indexed_growth = last["indexed_ms"] / first["indexed_ms"]
+        linear_growth = last["linear_ms"] / first["linear_ms"]
+        population_growth = last["triggers"] / first["triggers"]
+        assert indexed_growth <= 2.0, (
+            f"indexed per-statement cost grew {indexed_growth:.2f}x over a "
+            f"{population_growth:.0f}x population sweep (gate: <= 2x)"
+        )
+        assert linear_growth >= 4.0, (
+            f"linear control only grew {linear_growth:.2f}x over a "
+            f"{population_growth:.0f}x population sweep — the sweep is not "
+            "stressing matching"
+        )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    sizes = swept_sizes()
+    points = []
+    for size in sizes:
+        point = run_point(size)
+        points.append(point)
+        print(
+            f"{point['triggers']:>9} triggers: register {point['register_seconds']:7.1f}s "
+            f"({point['triggers_per_second']}/s)   "
+            f"indexed {point['indexed_ms']:8.3f} ms/stmt   "
+            f"linear {point['linear_ms']:10.3f} ms/stmt   "
+            f"speedup {point['speedup']:7.1f}x"
+        )
+    check_gates(points)
+    if len(points) >= 2:
+        print(
+            f"sweep gate OK: indexed {points[-1]['indexed_ms'] / points[0]['indexed_ms']:.2f}x "
+            f"vs linear {points[-1]['linear_ms'] / points[0]['linear_ms']:.2f}x over "
+            f"{points[-1]['triggers'] / points[0]['triggers']:.0f}x more triggers"
+        )
+    else:
+        print(f"smoke gate OK: {points[0]['speedup']}x at {points[0]['triggers']} triggers")
+    record = {
+        "sizes": sizes,
+        "points": points,
+        "headline_indexed_ms": points[-1]["indexed_ms"],
+    }
+    print("trajectory:", record_result(
+        "matching_scale", record,
+        headline="headline_indexed_ms", higher_is_better=False,
+    ))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

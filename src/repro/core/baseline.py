@@ -50,6 +50,9 @@ class MaterializedBaseline:
         self.database = database
         self._views: dict[str, ViewDefinition] = {}
         self._triggers: dict[str, TriggerSpec] = {}
+        # (view, path) -> trigger names, so firing walks one monitored
+        # path's triggers instead of the whole registry.
+        self._by_path: dict[tuple[str, tuple[str, ...]], list[str]] = {}
         self._paths: dict[tuple[str, tuple[str, ...]], PathGraph] = {}
         self._materialized: dict[tuple[str, tuple[str, ...]], dict[tuple, XmlNode]] = {}
         self.registry = ActionRegistry()
@@ -77,11 +80,21 @@ class MaterializedBaseline:
         if key not in self._paths:
             self._paths[key] = view.path_graph(spec.path, self.database)
             self._materialized[key] = self._evaluate_path(self._paths[key])
+        # Compile (and cache) the condition and action arguments now: firing
+        # must never re-parse trigger text per statement.
+        spec.compiled_condition()
+        spec.compiled_args()
         self._triggers[spec.name] = spec
+        self._by_path.setdefault(key, []).append(spec.name)
 
     def drop_trigger(self, name: str) -> None:
         """Remove an XML trigger."""
-        self._triggers.pop(name, None)
+        spec = self._triggers.pop(name, None)
+        if spec is None:
+            return
+        bucket = self._by_path.get((spec.view, spec.path))
+        if bucket is not None and name in bucket:
+            bucket.remove(name)
 
     @property
     def triggers(self) -> list[TriggerSpec]:
@@ -132,9 +145,9 @@ class MaterializedBaseline:
 
     def _fire_for_delta(self, delta: ViewDelta) -> list[ActionCall]:
         calls: list[ActionCall] = []
-        for spec in self._triggers.values():
-            if spec.view != delta.view or spec.path != delta.path:
-                continue
+        for name in self._by_path.get((delta.view, delta.path), ()):
+            spec = self._triggers[name]
+            # Cached at create_trigger: firing never re-parses trigger text.
             condition = spec.compiled_condition()
             for change in delta.of_kind(spec.event):
                 variables = {"OLD_NODE": change.old_node, "NEW_NODE": change.new_node}

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.errors import TriggerCompilationError
-from repro.xmlmodel.xpath import XPath, split_constants
+from repro.xmlmodel.xpath import XPath
 from repro.core.trigger import TriggerSpec
 
 __all__ = ["GroupMember", "ConstantsRow", "TriggerGroup", "group_triggers"]
@@ -101,7 +101,7 @@ class TriggerGroup:
             spec=spec,
             condition_constants=spec.condition_constants(),
             argument_constants=tuple(
-                tuple(split_constants(argument)[1]) for argument in spec.action_args
+                analysis.constants for analysis in spec.argument_analyses()
             ),
         )
         self.members.append(member)
@@ -141,16 +141,13 @@ class TriggerGroup:
 
     def parameterized_condition(self) -> XPath | None:
         """The group's condition with constants replaced by parameters."""
-        condition = self.representative.condition
-        if condition is None or not condition.strip():
-            return None
-        parameterized, _ = split_constants(condition)
-        return XPath(parameterized)
+        analysis = self.representative.condition_analysis()
+        return None if analysis is None else analysis.parameterized
 
     def parameterized_arguments(self) -> tuple[XPath, ...]:
         """The group's action arguments with constants replaced by parameters."""
         return tuple(
-            XPath(split_constants(argument)[0]) for argument in self.representative.action_args
+            analysis.parameterized for analysis in self.representative.argument_analyses()
         )
 
 

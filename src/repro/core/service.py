@@ -54,6 +54,9 @@ from repro.core.pushdown import (
 )
 from repro.core.semantics import check_trigger_specifiable
 from repro.core.trigger import ActionCall, TriggerSpec
+from repro.matching.engine import GroupMatcher, MatchPlanCache, MatchStats
+from repro.matching.indexes import PathTrie
+from repro.matching.predicates import MatchPlan
 
 __all__ = ["ExecutionMode", "FiredTrigger", "PlanCache", "ActiveViewService"]
 
@@ -94,6 +97,10 @@ class _CompiledGroup:
     arguments: tuple[XPath, ...] = ()
     constants_cache: list[ConstantsRow] | None = None
     compile_seconds: float = 0.0
+    #: The condition's indexable structure (None for condition-less groups).
+    match_plan: MatchPlan | None = None
+    _matcher: GroupMatcher | None = field(default=None, init=False, repr=False)
+    _matcher_dirty: bool = field(default=True, init=False, repr=False)
 
     def constants_rows(self) -> list[ConstantsRow]:
         if self.constants_cache is None:
@@ -102,6 +109,34 @@ class _CompiledGroup:
 
     def invalidate_constants(self) -> None:
         self.constants_cache = None
+        self._matcher_dirty = True
+
+    # -- matching indexes (repro.matching) -------------------------------------
+
+    def matcher(self) -> GroupMatcher:
+        """The group's :class:`GroupMatcher`, (re)built lazily when dirty."""
+        matcher = self._matcher
+        if matcher is None or self._matcher_dirty:
+            # Build fully, then swap: a concurrent reader observes the old
+            # complete matcher or the new complete matcher, never a torn one.
+            matcher = GroupMatcher.build(
+                self.condition, self.match_plan, self.group.members
+            )
+            self._matcher = matcher
+            self._matcher_dirty = False
+        return matcher
+
+    def note_member_added(self, member) -> None:
+        """Index one newly added member without rebuilding (when clean)."""
+        self.constants_cache = None
+        if self._matcher is not None and not self._matcher_dirty:
+            self._matcher.add_member(member)
+
+    def note_member_removed(self, name: str, constants_key: tuple) -> None:
+        """Unindex one removed member without rebuilding (when clean)."""
+        self.constants_cache = None
+        if self._matcher is not None and not self._matcher_dirty:
+            self._matcher.remove_member(name, constants_key)
 
 
 class PlanCache:
@@ -190,6 +225,8 @@ class ActiveViewService:
         result_cache_size: int = 512,
         collect_eval_stats: bool = False,
         backend: Any = None,
+        use_matching_indexes: bool = True,
+        match_plan_cache: MatchPlanCache | None = None,
     ) -> None:
         self.database = database
         self.mode = mode
@@ -227,6 +264,24 @@ class ActiveViewService:
         self._plan_cache: PlanCache = plan_cache if plan_cache is not None else PlanCache()
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        # Sublinear matching (repro.matching): per-group predicate indexes
+        # select candidate constants rows in ~O(matching triggers).  The
+        # linear scan stays available as the oracle (set
+        # ``use_matching_indexes = False``); selections that cannot use an
+        # index are counted in ``match_stats.fallbacks`` and surfaced through
+        # :meth:`evaluation_report`.  The MatchPlanCache is shareable across
+        # services exactly like the PlanCache ("is not None" for the same
+        # empty-cache reason).
+        self.use_matching_indexes = use_matching_indexes
+        self._match_plan_cache: MatchPlanCache = (
+            match_plan_cache if match_plan_cache is not None else MatchPlanCache()
+        )
+        self.match_stats = MatchStats()
+        # Per-view prefix tries over monitored paths: (view, path) -> the
+        # group signatures monitoring that path.  ``drop_view`` and the
+        # :meth:`monitored_groups` diagnostic walk the trie instead of
+        # scanning the registered-trigger population.
+        self._monitored: dict[str, PathTrie] = {}
         self._fired: list[FiredTrigger] = []
         self._listeners: list[Callable[[FiredTrigger], None]] = []
         # DDL listeners observe registry changes (view registration, trigger
@@ -279,10 +334,18 @@ class ActiveViewService:
         """
         if name not in self._views:
             raise TriggerError(f"unknown view {name!r}")
-        for trigger_name in [
-            spec.name for spec in self._triggers.values() if spec.view == name
-        ]:
+        # The monitored-path trie knows every group of this view; collecting
+        # their members costs O(the view's triggers), not O(all triggers).
+        doomed: list[str] = []
+        trie = self._monitored.get(name)
+        if trie is not None:
+            for signature in trie.extensions_of(()):
+                compiled = self._groups.get(signature)
+                if compiled is not None:
+                    doomed.extend(m.spec.name for m in compiled.group.members)
+        for trigger_name in doomed:
             self.drop_trigger(trigger_name)
+        self._monitored.pop(name, None)
         del self._views[name]
         self._path_graphs = {
             key: graph for key, graph in self._path_graphs.items() if key[0] != name
@@ -385,14 +448,65 @@ class ActiveViewService:
             group.add(spec)
             compiled = self._compile_group(group, spec)
             self._groups[signature] = compiled
+            self._note_group_added(signature, spec)
         else:
-            compiled.group.add(spec)
-            compiled.invalidate_constants()
+            member = compiled.group.add(spec)
+            compiled.note_member_added(member)
         self._triggers[spec.name] = spec
         self.last_compile_seconds = time.perf_counter() - started
         compiled.compile_seconds += self.last_compile_seconds
         self._emit_ddl("create_trigger", spec)
         return spec
+
+    def register_triggers_bulk(
+        self, definitions: Iterable[str | TriggerSpec]
+    ) -> list[TriggerSpec]:
+        """Create a batch of XML triggers, building matching indexes once.
+
+        Semantically equivalent to calling :meth:`create_trigger` per
+        definition, but the per-group constants tables and matching indexes
+        are invalidated once per *touched group* instead of once per trigger,
+        so registering N structurally similar triggers costs one index build
+        instead of N incremental ones.  The batch is validated up front —
+        unknown views, duplicate names (against the registry *and* within the
+        batch) and unspecifiable paths all fail before any trigger is
+        installed — so a failed bulk registration leaves the service
+        unchanged.
+        """
+        started = time.perf_counter()
+        specs: list[TriggerSpec] = []
+        batch_names: set[str] = set()
+        for definition in definitions:
+            spec = parse_trigger(definition) if isinstance(definition, str) else definition
+            if spec.name in self._triggers or spec.name in batch_names:
+                raise TriggerError(f"trigger {spec.name!r} already exists")
+            batch_names.add(spec.name)
+            self.view(spec.view)
+            specs.append(spec)
+        for spec in specs:
+            # Dry-run the path-graph derivation (cached per (view, path)):
+            # an unspecifiable monitored path aborts the whole batch here,
+            # before any registration mutates the service.
+            self._path_graph(spec)
+        touched: dict[tuple, _CompiledGroup] = {}
+        for spec in specs:
+            signature = self._group_signature(spec)
+            compiled = self._groups.get(signature)
+            if compiled is None:
+                group = TriggerGroup(spec.structural_signature())
+                group.add(spec)
+                compiled = self._compile_group(group, spec)
+                self._groups[signature] = compiled
+                self._note_group_added(signature, spec)
+            else:
+                compiled.group.add(spec)
+                touched[signature] = compiled
+            self._triggers[spec.name] = spec
+            self._emit_ddl("create_trigger", spec)
+        for compiled in touched.values():
+            compiled.invalidate_constants()
+        self.last_compile_seconds = time.perf_counter() - started
+        return specs
 
     def drop_trigger(self, name: str) -> None:
         """Drop an XML trigger (and its SQL triggers when the group empties)."""
@@ -404,12 +518,20 @@ class ActiveViewService:
         if compiled is None:
             self._emit_ddl("drop_trigger", name)
             return
+        constants_key = next(
+            (m.constants_key for m in compiled.group.members if m.spec.name == name),
+            None,
+        )
         compiled.group.remove(name)
-        compiled.invalidate_constants()
+        if constants_key is not None:
+            compiled.note_member_removed(name, constants_key)
+        else:  # pragma: no cover - name absent from its own group
+            compiled.invalidate_constants()
         if not compiled.group.members:
             for sql_name in compiled.sql_trigger_names:
                 self.database.drop_trigger(sql_name)
             del self._groups[signature]
+            self._note_group_removed(signature, spec)
         self._emit_ddl("drop_trigger", name)
 
     def generated_sql(self, trigger_name: str) -> list[str]:
@@ -515,11 +637,17 @@ class ActiveViewService:
         ``collect_eval_stats=True``; the ``result_cache_*`` entries and
         ``compiled_plan_fallbacks`` (translations whose physical lowering
         failed and run on the interpreter — expected to be zero) are always
-        maintained.
+        maintained, as are the ``matching_*`` counters of the sublinear
+        matching engine (``matching_fallbacks`` counts candidate selections
+        that had to scan linearly because a condition has no indexable atom
+        — the equivalence suites assert it stays zero on indexable
+        populations).
         """
         report = dict(self.eval_stats)
         for key, value in self.result_cache.stats().items():
             report[f"result_cache_{key}"] = value
+        for key, value in self.match_stats.as_dict().items():
+            report[f"matching_{key}"] = value
         report["compiled_plan_fallbacks"] = sum(
             1
             for compiled in self._groups.values()
@@ -550,6 +678,36 @@ class ActiveViewService:
             # No sharing: every trigger is its own group (its own SQL triggers).
             return ("__ungrouped__", spec.name)
         return spec.structural_signature()
+
+    def _note_group_added(self, signature: tuple, spec: TriggerSpec) -> None:
+        trie = self._monitored.get(spec.view)
+        if trie is None:
+            trie = PathTrie()
+            self._monitored[spec.view] = trie
+        trie.add(spec.path, signature)
+
+    def _note_group_removed(self, signature: tuple, spec: TriggerSpec) -> None:
+        trie = self._monitored.get(spec.view)
+        if trie is not None:
+            trie.discard(spec.path, signature)
+            if not len(trie):
+                del self._monitored[spec.view]
+
+    def monitored_groups(
+        self, view: str, path: tuple[str, ...] = (), *, descendants: bool = True
+    ) -> list[tuple]:
+        """Group signatures monitoring ``path`` of ``view`` (trie lookup).
+
+        With ``descendants`` (the default) the result covers the whole
+        subtree under ``path`` — ``monitored_groups(view)`` lists every group
+        of the view; without it, only groups at exactly ``path``.  Cost is
+        the path length plus the matches, independent of how many triggers
+        are registered.
+        """
+        trie = self._monitored.get(view)
+        if trie is None:
+            return []
+        return trie.extensions_of(path) if descendants else trie.exact(path)
 
     def _path_graph(self, spec: TriggerSpec) -> PathGraph:
         key = (spec.view, spec.path)
@@ -605,11 +763,17 @@ class ActiveViewService:
             self.plan_cache_hits += 1
         else:
             self.plan_cache_misses += 1
+        condition = group.parameterized_condition()
         compiled = _CompiledGroup(
             group=group,
             translations=translations,
-            condition=group.parameterized_condition(),
+            condition=condition,
             arguments=group.parameterized_arguments(),
+            match_plan=(
+                None
+                if condition is None
+                else self._match_plan_cache.get_or_analyze(condition)
+            ),
         )
         backend_plans = self._prepare_backend_plans(plan_key, translations)
         for table, translation in translations.items():
@@ -707,14 +871,24 @@ class ActiveViewService:
         pairs,
         batch_seen: set | None = None,
     ) -> None:
-        spec_by_name = {member.spec.name: member.spec for member in compiled.group.members}
-        constants_rows = compiled.constants_rows()
+        # The registry itself is the name -> spec index: trigger names are
+        # globally unique, and a concurrently dropped trigger is absent from
+        # it (the per-activation guard below).  Building a per-group dict
+        # here would cost O(group size) per firing.
+        spec_by_name = self._triggers
         condition = compiled.condition
         arguments = compiled.arguments
+        matcher = compiled.matcher() if self.use_matching_indexes else None
+        constants_rows = compiled.constants_rows() if matcher is None else []
+        stats = self.match_stats
         for pair in pairs:
             variables = {"OLD_NODE": pair.old_node, "NEW_NODE": pair.new_node}
-            for row in constants_rows:
-                if condition is not None and not condition.as_boolean(
+            if matcher is not None:
+                rows, check_condition = matcher.candidates(variables, stats)
+            else:
+                rows, check_condition = constants_rows, condition is not None
+            for row in rows:
+                if check_condition and condition is not None and not condition.as_boolean(
                     variables, parameters=row.condition_constants
                 ):
                     continue

@@ -14,12 +14,30 @@ from typing import Any
 from repro.errors import TriggerSyntaxError
 from repro.relational.triggers import TriggerEvent
 from repro.xmlmodel.node import XmlNode
-from repro.xmlmodel.xpath import XPath, expression_shape, split_constants
+from repro.xmlmodel.xpath import XPath, analyze_expression
 
-__all__ = ["TriggerSpec", "ActionCall", "XmlTriggerEvent"]
+__all__ = ["TriggerSpec", "ExpressionAnalysis", "ActionCall", "XmlTriggerEvent"]
 
 # The XML trigger events are the same three verbs as relational events.
 XmlTriggerEvent = TriggerEvent
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class ExpressionAnalysis:
+    """Everything trigger registration needs from one expression, one parse.
+
+    Grouping (the shape), the constants table (the constants) and grouped
+    evaluation (the parameterized expression) all derive from the same parse;
+    computing them together and caching the result on the spec keeps bulk
+    registration of very large trigger populations at one parse per
+    expression instead of one per consumer.
+    """
+
+    parameterized: XPath
+    constants: tuple[Any, ...]
+    shape: str
 
 
 @dataclass
@@ -52,15 +70,50 @@ class TriggerSpec:
 
     def compiled_condition(self) -> XPath | None:
         """The condition compiled to an XPath expression (or ``None``)."""
-        if self.condition is None or not self.condition.strip():
-            return None
-        return XPath(self.condition)
+        cached = self.__dict__.get("_compiled_condition", _UNSET)
+        if cached is _UNSET:
+            if self.condition is None or not self.condition.strip():
+                cached = None
+            else:
+                cached = XPath(self.condition)
+            self.__dict__["_compiled_condition"] = cached
+        return cached
 
     def compiled_args(self) -> tuple[XPath, ...]:
-        """The action arguments compiled to XPath expressions."""
-        return tuple(XPath(arg) for arg in self.action_args)
+        """The action arguments compiled to XPath expressions (cached)."""
+        cached = self.__dict__.get("_compiled_args", _UNSET)
+        if cached is _UNSET:
+            cached = tuple(XPath(arg) for arg in self.action_args)
+            self.__dict__["_compiled_args"] = cached
+        return cached
 
-    # -- grouping signature (Section 5.1) -----------------------------------------
+    # -- analysis (grouping signature, constants, parameterized forms) -------------
+
+    def condition_analysis(self) -> ExpressionAnalysis | None:
+        """The condition's :class:`ExpressionAnalysis` (cached; one parse ever)."""
+        cached = self.__dict__.get("_condition_analysis", _UNSET)
+        if cached is _UNSET:
+            if self.condition is None or not self.condition.strip():
+                cached = None
+            else:
+                parameterized, constants, shape = analyze_expression(self.condition)
+                cached = ExpressionAnalysis(XPath(parameterized), tuple(constants), shape)
+            self.__dict__["_condition_analysis"] = cached
+        return cached
+
+    def argument_analyses(self) -> tuple[ExpressionAnalysis, ...]:
+        """Per action argument :class:`ExpressionAnalysis` (cached)."""
+        cached = self.__dict__.get("_argument_analyses")
+        if cached is None:
+            analyses = []
+            for argument in self.action_args:
+                parameterized, constants, shape = analyze_expression(argument)
+                analyses.append(
+                    ExpressionAnalysis(XPath(parameterized), tuple(constants), shape)
+                )
+            cached = tuple(analyses)
+            self.__dict__["_argument_analyses"] = cached
+        return cached
 
     def structural_signature(self) -> tuple:
         """Signature under which structurally similar triggers are grouped.
@@ -70,19 +123,20 @@ class TriggerSpec:
         and their conditions / action parameters differ only in literal
         constants.
         """
-        condition_shape = (
-            expression_shape(self.condition) if self.condition and self.condition.strip() else None
-        )
-        argument_shapes = tuple(expression_shape(argument) for argument in self.action_args)
-        return (self.view, self.path, self.event.value, condition_shape,
-                self.action_name, argument_shapes)
+        cached = self.__dict__.get("_structural_signature")
+        if cached is None:
+            analysis = self.condition_analysis()
+            condition_shape = None if analysis is None else analysis.shape
+            argument_shapes = tuple(a.shape for a in self.argument_analyses())
+            cached = (self.view, self.path, self.event.value, condition_shape,
+                      self.action_name, argument_shapes)
+            self.__dict__["_structural_signature"] = cached
+        return cached
 
     def condition_constants(self) -> tuple[Any, ...]:
         """The literal constants of the condition (a row of the constants table)."""
-        if self.condition is None or not self.condition.strip():
-            return ()
-        _, constants = split_constants(self.condition)
-        return tuple(constants)
+        analysis = self.condition_analysis()
+        return () if analysis is None else analysis.constants
 
     def references_old_node(self) -> bool:
         """Whether the condition or any action argument mentions ``OLD_NODE``."""

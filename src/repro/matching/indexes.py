@@ -1,0 +1,372 @@
+"""Index structures for sublinear trigger matching.
+
+Three structures, one per predicate family:
+
+* :class:`EqualityHashIndex` — equality constants (``probe = constant``).
+  Keys are canonicalized with :func:`constant_key` so that the index is a
+  *congruence* for the XPath comparison semantics: two values hash to the
+  same key **iff** ``_compare_atoms('=', a, b)`` holds (numeric comparison
+  when both sides coerce to numbers, string comparison otherwise).
+* :class:`IntervalTree` — range constants (``probe < constant`` and
+  friends).  Every registered row contributes one (possibly open-ended)
+  interval of probe values it accepts; a stabbing query returns the rows
+  whose interval contains the probed value.  Handles duplicate intervals,
+  inclusive/exclusive endpoints, and one- or two-sided open ends.
+* :class:`PathTrie` — monitored view paths.  A prefix trie over the child
+  element steps of ``view('v')/a/b`` paths; step validation matches the
+  trigger language's (``language.py``), so a path the parser rejects —
+  descendant steps (``//``), empty steps, non-name steps — is rejected here
+  too, and the trie can never hold an unmatchable entry.
+
+All three support concurrent readers racing a single mutator under CPython
+semantics: mutation is append/­discard on dicts and lists plus atomic
+attribute swaps, so a reader observes either the old or the new state of
+each structure, never a torn one.  (The serving layer's DDL calls run on
+client threads while shard workers match — the same documented race window
+as trigger registration itself.)
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.xmlmodel.xpath import _number_of, _string_of  # shared coercion rules
+
+__all__ = ["constant_key", "EqualityHashIndex", "Interval", "IntervalTree", "PathTrie"]
+
+
+def constant_key(value: Any) -> tuple | None:
+    """Canonical hash key for equality matching, or ``None`` if unindexable.
+
+    Mirrors ``_compare_atoms('=')`` exactly: a value that coerces to a
+    number compares numerically (so ``15``, ``15.0`` and ``"15"`` are one
+    key), anything else compares as a string.  The two families can never
+    collide — if two string forms are equal, both coerce (or neither does).
+    ``NaN`` is the one value equality can never certify (``NaN != NaN``
+    numerically but ``'nan' == 'nan'`` as strings), so it is reported as
+    unindexable and the caller must keep such rows on the checked path.
+    """
+    number = _number_of(value)
+    if number is not None:
+        if math.isnan(number):
+            return None
+        return ("n", number)
+    return ("s", _string_of(value))
+
+
+class EqualityHashIndex:
+    """Hash index from canonical constant keys to row ordinals."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[tuple, list[int]] = {}
+
+    def add(self, key: tuple, row_id: int) -> None:
+        """Register ``row_id`` under ``key`` (duplicates collapse)."""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [row_id]
+        elif row_id not in bucket:
+            bucket.append(row_id)
+
+    def discard(self, key: tuple, row_id: int) -> None:
+        """Remove ``row_id`` from ``key``'s bucket (idempotent)."""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        if row_id in bucket:
+            # Replace rather than mutate in place: a reader iterating the old
+            # list sees a consistent (pre-removal) snapshot.
+            remaining = [row for row in bucket if row != row_id]
+            if remaining:
+                self._buckets[key] = remaining
+            else:
+                del self._buckets[key]
+
+    def probe(self, key: tuple | None) -> Sequence[int]:
+        """Row ordinals registered under ``key`` (empty for ``None`` keys)."""
+        if key is None:
+            return ()
+        return self._buckets.get(key, ())
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of distinct keys (for tests and diagnostics)."""
+        return len(self._buckets)
+
+
+class Interval:
+    """A numeric interval with optional open ends and per-end inclusivity."""
+
+    __slots__ = ("low", "high", "low_inclusive", "high_inclusive")
+
+    def __init__(
+        self,
+        low: float | None = None,
+        high: float | None = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> None:
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        if self.low is not None:
+            if value < self.low or (value == self.low and not self.low_inclusive):
+                return False
+        if self.high is not None:
+            if value > self.high or (value == self.high and not self.high_inclusive):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        left = "[" if self.low_inclusive else "("
+        right = "]" if self.high_inclusive else ")"
+        return f"{left}{'-inf' if self.low is None else self.low}, " \
+               f"{'+inf' if self.high is None else self.high}{right}"
+
+
+class _TreeNode:
+    """One node of the centered interval tree."""
+
+    __slots__ = ("center", "by_low", "by_high", "left", "right")
+
+    def __init__(self, center: float) -> None:
+        self.center = center
+        #: Intervals overlapping ``center``, ascending by low end (open low first).
+        self.by_low: list[tuple[Interval, int]] = []
+        #: The same intervals, descending by high end (open high first).
+        self.by_high: list[tuple[Interval, int]] = []
+        self.left: _TreeNode | None = None
+        self.right: _TreeNode | None = None
+
+
+def _low_key(item: tuple[Interval, int]) -> float:
+    low = item[0].low
+    return -math.inf if low is None else low
+
+
+def _high_key(item: tuple[Interval, int]) -> float:
+    high = item[0].high
+    return math.inf if high is None else high
+
+
+class IntervalTree:
+    """Static centered interval tree answering stabbing queries.
+
+    Built once from ``(interval, row_id)`` pairs; :meth:`stab` returns every
+    row whose interval contains the query point in ``O(log n + k)``.  The
+    matching engine treats the tree as immutable and absorbs incremental
+    registrations in a side buffer, rebuilding (and atomically swapping) the
+    tree when the buffer grows past its amortization threshold.
+    """
+
+    def __init__(self, items: Iterable[tuple[Interval, int]] = ()) -> None:
+        materialized = list(items)
+        self._size = len(materialized)
+        self._root = self._build(materialized) if materialized else None
+
+    def _build(self, items: list[tuple[Interval, int]]) -> _TreeNode:
+        # Center on the median finite endpoint; fully open intervals (no
+        # finite endpoint at all) overlap any center and stay at the root.
+        endpoints: list[float] = []
+        for interval, _ in items:
+            if interval.low is not None:
+                endpoints.append(interval.low)
+            if interval.high is not None:
+                endpoints.append(interval.high)
+        center = sorted(endpoints)[len(endpoints) // 2] if endpoints else 0.0
+        node = _TreeNode(center)
+        here: list[tuple[Interval, int]] = []
+        left: list[tuple[Interval, int]] = []
+        right: list[tuple[Interval, int]] = []
+        for item in items:
+            interval = item[0]
+            if interval.high is not None and interval.high < center:
+                left.append(item)
+            elif interval.low is not None and interval.low > center:
+                right.append(item)
+            else:
+                here.append(item)
+        node.by_low = sorted(here, key=_low_key)
+        node.by_high = sorted(here, key=_high_key, reverse=True)
+        if left:
+            node.left = self._build(left)
+        if right:
+            node.right = self._build(right)
+        return node
+
+    def stab(self, value: float, into: set[int] | None = None) -> set[int]:
+        """Row ordinals whose interval contains ``value``."""
+        result = into if into is not None else set()
+        node = self._root
+        while node is not None:
+            if value < node.center:
+                # Every interval here has high >= center > value, so only the
+                # low end can exclude; by_low is ascending, stop at the first
+                # low end beyond the query.
+                for interval, row_id in node.by_low:
+                    if _low_key((interval, row_id)) > value:
+                        break
+                    if interval.contains(value):
+                        result.add(row_id)
+                node = node.left
+            elif value > node.center:
+                for interval, row_id in node.by_high:
+                    if _high_key((interval, row_id)) < value:
+                        break
+                    if interval.contains(value):
+                        result.add(row_id)
+                node = node.right
+            else:
+                for interval, row_id in node.by_low:
+                    if interval.contains(value):
+                        result.add(row_id)
+                break
+        return result
+
+    def __len__(self) -> int:
+        return self._size
+
+
+#: The trigger language's path-step grammar (``core/language.py``); the trie
+#: enforces the identical rule so descendant steps (``//`` produces an empty
+#: step) and non-name steps can never be registered.
+_STEP_RE = re.compile(r"[A-Za-z_][\w\-\.]*")
+
+
+class _TrieNode:
+    __slots__ = ("children", "values")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _TrieNode] = {}
+        self.values: dict[Any, None] = {}  # insertion-ordered set
+
+
+class PathTrie:
+    """Prefix trie over monitored-path step tuples.
+
+    Values (group signatures, trigger names, ...) are attached to the node a
+    path ends at; lookups walk one node per step, so every query below costs
+    the *path length*, never the registered population:
+
+    * :meth:`exact` — values registered at precisely this path;
+    * :meth:`prefixes_of` — values on every prefix of a path (triggers
+      monitoring an ancestor of an affected node);
+    * :meth:`extensions_of` — values in the subtree under a path (triggers
+      monitoring the path or any descendant — e.g. every group of one view).
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    @staticmethod
+    def validate(path: Sequence[str]) -> tuple[str, ...]:
+        """Check a path against the trigger language's step grammar."""
+        steps = tuple(path)
+        if not steps:
+            raise ValueError("path must have at least one step")
+        for step in steps:
+            if not isinstance(step, str) or not _STEP_RE.fullmatch(step):
+                raise ValueError(
+                    f"invalid path step {step!r} (descendant steps ('//') and "
+                    "non-name steps are not supported in the trigger Path)"
+                )
+        return steps
+
+    def add(self, path: Sequence[str], value: Any) -> None:
+        """Attach ``value`` at ``path`` (duplicates collapse)."""
+        node = self._root
+        for step in self.validate(path):
+            child = node.children.get(step)
+            if child is None:
+                child = _TrieNode()
+                node.children[step] = child
+            node = child
+        if value not in node.values:
+            node.values[value] = None
+            self._size += 1
+
+    def discard(self, path: Sequence[str], value: Any) -> None:
+        """Remove ``value`` from ``path`` (idempotent; prunes empty branches)."""
+        steps = tuple(path)
+        chain: list[tuple[_TrieNode, str]] = []
+        node = self._root
+        for step in steps:
+            child = node.children.get(step)
+            if child is None:
+                return
+            chain.append((node, step))
+            node = child
+        if value in node.values:
+            del node.values[value]
+            self._size -= 1
+        # Prune now-empty leaves so the trie's size tracks the live paths.
+        for parent, step in reversed(chain):
+            child = parent.children[step]
+            if child.values or child.children:
+                break
+            del parent.children[step]
+
+    def _walk(self, path: Sequence[str]) -> _TrieNode | None:
+        node = self._root
+        for step in path:
+            node = node.children.get(step)  # type: ignore[assignment]
+            if node is None:
+                return None
+        return node
+
+    def exact(self, path: Sequence[str]) -> list[Any]:
+        """Values registered at exactly ``path``."""
+        node = self._walk(path)
+        return list(node.values) if node is not None else []
+
+    def prefixes_of(self, path: Sequence[str]) -> list[Any]:
+        """Values on every prefix of ``path``, shallowest first (inclusive)."""
+        result: list[Any] = []
+        node = self._root
+        result.extend(node.values)
+        for step in path:
+            node = node.children.get(step)  # type: ignore[assignment]
+            if node is None:
+                break
+            result.extend(node.values)
+        return result
+
+    def extensions_of(self, path: Sequence[str] = ()) -> list[Any]:
+        """Values at ``path`` and every descendant path (pre-order)."""
+        start = self._walk(path)
+        if start is None:
+            return []
+        result: list[Any] = []
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            result.extend(node.values)
+            stack.extend(reversed(list(node.children.values())))
+        return result
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, path: Sequence[str]) -> bool:
+        node = self._walk(tuple(path))
+        return node is not None and bool(node.values)
+
+    def __iter__(self) -> Iterator[tuple[tuple[str, ...], Any]]:
+        stack: list[tuple[tuple[str, ...], _TrieNode]] = [((), self._root)]
+        while stack:
+            path, node = stack.pop()
+            for value in node.values:
+                yield path, value
+            for step, child in reversed(list(node.children.items())):
+                stack.append((path + (step,), child))

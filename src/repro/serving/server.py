@@ -48,6 +48,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.service import ActiveViewService, ExecutionMode, FiredTrigger, PlanCache
 from repro.core.trigger import TriggerSpec
+from repro.matching.predicates import MatchPlanCache
 from repro.errors import ServerStoppedError, ServingError
 from repro.relational.database import Database
 from repro.relational.dml import Statement, StatementResult
@@ -181,9 +182,16 @@ class ActiveViewServer:
         self.sharded = database
         self.max_batch = max_batch
         self.plan_cache = PlanCache()
+        # Match-plan analyses are immutable and catalog-independent, so they
+        # are shared across shard services exactly like compiled plans.
+        self.match_plan_cache = MatchPlanCache()
         self.services: list[ActiveViewService] = [
             ActiveViewService(
-                shard, mode=mode, plan_cache=self.plan_cache, **(service_options or {})
+                shard,
+                mode=mode,
+                plan_cache=self.plan_cache,
+                match_plan_cache=self.match_plan_cache,
+                **(service_options or {}),
             )
             for shard in database.shards
         ]
@@ -240,6 +248,26 @@ class ActiveViewServer:
             spec = spec or created
         assert spec is not None
         return spec
+
+    def register_triggers_bulk(
+        self, definitions: Iterable[str | TriggerSpec]
+    ) -> list[TriggerSpec]:
+        """Create a batch of XML triggers on every shard service.
+
+        The first shard parses each definition; the remaining shards reuse
+        the parsed specs (and their cached expression analyses), and every
+        shard builds its matching indexes once per touched group instead of
+        once per trigger — see
+        :meth:`~repro.core.service.ActiveViewService.register_triggers_bulk`.
+        """
+        materialized = list(definitions)
+        specs: list[TriggerSpec] | None = None
+        for service in self.services:
+            created = service.register_triggers_bulk(
+                materialized if specs is None else specs
+            )
+            specs = specs or created
+        return specs if specs is not None else []
 
     def drop_trigger(self, name: str) -> None:
         """Drop an XML trigger from every shard service."""

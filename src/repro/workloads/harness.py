@@ -234,6 +234,7 @@ class ExperimentHarness:
         use_compiled_plans: bool = True,
         collect_eval_stats: bool = False,
         backend: str | None = None,
+        use_matching_indexes: bool = True,
     ) -> ExperimentSetup:
         """Create the database, view, triggers and chosen execution system.
 
@@ -256,6 +257,10 @@ class ExperimentHarness:
         trigger statements then run inside that engine against a mirrored
         copy of the workload's tables (``benchmarks/bench_backend_sqlite.py``
         compares all three engines this way).
+
+        ``use_matching_indexes`` toggles the sublinear matching engine
+        (:mod:`repro.matching`; off runs the linear constants-row oracle —
+        the comparison ``benchmarks/bench_matching_scale.py`` draws).
         """
         workload = HierarchyWorkload(parameters)
         database = workload.build_database()
@@ -294,11 +299,11 @@ class ExperimentHarness:
             use_compiled_plans=use_compiled_plans,
             collect_eval_stats=collect_eval_stats,
             backend=backend,
+            use_matching_indexes=use_matching_indexes,
         )
         service.register_view(view)
         service.register_action(action, lambda node: collected.append(node))
-        for definition in workload.trigger_definitions(action):
-            service.create_trigger(definition)
+        service.register_triggers_bulk(workload.trigger_definitions(action))
         return ExperimentSetup(parameters, workload, database, service, None,
                                collected, wal=wal)
 

@@ -33,6 +33,7 @@ __all__ = [
     "parse_xpath",
     "evaluate_xpath",
     "split_constants",
+    "analyze_expression",
     "XPathExpr",
 ]
 
@@ -823,6 +824,17 @@ def expression_shape(expression: str | XPathExpr) -> str:
     """
     parameterized, _ = split_constants(expression)
     return _shape(parameterized)
+
+
+def analyze_expression(expression: str | XPathExpr) -> tuple[XPathExpr, list[Any], str]:
+    """Parameterized AST, extracted constants, and canonical shape — one parse.
+
+    Equivalent to ``split_constants`` followed by ``expression_shape`` but
+    parses the source text only once; trigger registration calls this per
+    expression so bulk registration of very large populations stays cheap.
+    """
+    parameterized, constants = split_constants(expression)
+    return parameterized, constants, _shape(parameterized)
 
 
 def _shape(node: XPathExpr) -> str:

@@ -1,0 +1,138 @@
+"""Regression: the DML hot path never re-parses trigger text.
+
+The seed implementation re-extracted a trigger's condition constants (a
+full XPath parse via ``split_constants``) and re-compiled uncached
+condition text *per event* inside the firing loop.  PR 6 hoists all of it
+to registration time: :meth:`TriggerSpec.condition_analysis` /
+:meth:`TriggerSpec.argument_analyses` parse once and cache the
+parameterized AST, the constants, and the structural shape together, and
+``compiled_condition`` memoizes its ``XPath``.
+
+These tests pin the invariant mechanically: after registration, a stream
+of firing statements performs **zero** XPath parses — in the translated
+service (every mode) and in the MATERIALIZED baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import MaterializedBaseline
+from repro.core.language import parse_trigger
+from repro.core.service import ActiveViewService, ExecutionMode
+from repro.relational.dml import UpdateStatement
+from repro.xmlmodel import xpath as xpath_module
+from repro.xqgm.views import catalog_view
+
+from tests.conftest import build_paper_database
+
+TRIGGERS = [
+    "CREATE TRIGGER Crt AFTER UPDATE ON view('catalog')/product "
+    "WHERE OLD_NODE/@name = 'CRT 15' DO sink(NEW_NODE)",
+    "CREATE TRIGGER Lcd AFTER UPDATE ON view('catalog')/product "
+    "WHERE OLD_NODE/@name = 'LCD 19' DO sink(NEW_NODE/@name)",
+    "CREATE TRIGGER Cheap AFTER UPDATE ON view('catalog')/product "
+    "WHERE NEW_NODE/vendor/price >= 10 and NEW_NODE/vendor/price < 300 "
+    "DO sink(NEW_NODE)",
+    "CREATE TRIGGER Any AFTER UPDATE ON view('catalog')/product DO sink(NEW_NODE)",
+]
+
+
+@pytest.fixture
+def count_parses(monkeypatch):
+    """Patch ``parse_xpath`` with a counting wrapper; returns the counter."""
+    counter = {"calls": 0}
+    original = xpath_module.parse_xpath
+
+    def counting_parse(text):
+        counter["calls"] += 1
+        return original(text)
+
+    monkeypatch.setattr(xpath_module, "parse_xpath", counting_parse)
+    return counter
+
+
+def _statements():
+    return [
+        UpdateStatement(
+            "vendor", {"price": 90.0 + step},
+            where=lambda r, step=step: r["pid"] == ("P1", "P2", "P3")[step % 3],
+        )
+        for step in range(6)
+    ]
+
+
+@pytest.mark.parametrize(
+    "mode", [ExecutionMode.UNGROUPED, ExecutionMode.GROUPED, ExecutionMode.GROUPED_AGG]
+)
+@pytest.mark.parametrize("use_matching_indexes", [True, False])
+def test_service_statement_stream_never_parses(count_parses, mode, use_matching_indexes):
+    database = build_paper_database(with_foreign_keys=False)
+    service = ActiveViewService(
+        database, mode=mode, use_matching_indexes=use_matching_indexes
+    )
+    service.register_view(catalog_view())
+    service.register_action("sink", lambda *args: None)
+    for text in TRIGGERS:
+        service.create_trigger(text)
+
+    count_parses["calls"] = 0  # registration parses are expected and fine
+    for statement in _statements():
+        service.execute(statement)
+    assert service.fired, "the invariant is vacuous if nothing fired"
+    assert count_parses["calls"] == 0, (
+        f"{count_parses['calls']} XPath parses on the DML hot path"
+    )
+
+
+def test_bulk_registration_statement_stream_never_parses(count_parses):
+    database = build_paper_database(with_foreign_keys=False)
+    service = ActiveViewService(database, ExecutionMode.GROUPED_AGG)
+    service.register_view(catalog_view())
+    service.register_action("sink", lambda *args: None)
+    service.register_triggers_bulk(TRIGGERS)
+
+    count_parses["calls"] = 0
+    for statement in _statements():
+        service.execute(statement)
+    assert service.fired
+    assert count_parses["calls"] == 0
+
+
+def test_baseline_statement_stream_never_parses(count_parses):
+    database = build_paper_database(with_foreign_keys=False)
+    baseline = MaterializedBaseline(database)
+    baseline.register_view(catalog_view())
+    baseline.register_action("sink", lambda *args: None)
+    for text in TRIGGERS:
+        baseline.create_trigger(parse_trigger(text))
+
+    count_parses["calls"] = 0
+    for statement in _statements():
+        baseline.execute(statement)
+    assert baseline.fired
+    assert count_parses["calls"] == 0
+
+
+def test_analysis_is_cached_per_spec(count_parses):
+    """Each compiled piece parses at most once, ever, per spec."""
+    spec = parse_trigger(TRIGGERS[0])
+    count_parses["calls"] = 0
+    # Touch every accessor once: parses happen here (once per expression).
+    analysis = spec.condition_analysis()
+    spec.structural_signature()
+    spec.condition_constants()
+    spec.compiled_condition()
+    spec.compiled_args()
+    warmup = count_parses["calls"]
+    assert warmup > 0
+    # Every further access — the per-event pattern of the firing loops —
+    # is served from the caches.
+    assert analysis is spec.condition_analysis()
+    spec.structural_signature()
+    spec.condition_constants()
+    spec.compiled_condition()
+    spec.compiled_args()
+    assert count_parses["calls"] == warmup, (
+        "trigger accessors re-parsed despite the per-spec caches"
+    )
