@@ -75,6 +75,30 @@ class NodesDiffer(Expression):
     def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
         return self
 
+    def uses_parameters(self) -> bool:
+        """Precise-classification hook: the difference check never reads
+        parameter bindings, so subplans containing it stay cacheable across
+        trigger-group firings (see :func:`repro.xqgm.columnar.compile_columnar_plan`).
+        """
+        return False
+
+    def compile_columns(self, layout: Mapping[str, int]):
+        """Vectorized form for the columnar engine: one mask column per batch.
+
+        Mirrors :meth:`evaluate` exactly, including the ``row.get`` semantics
+        (a column missing from the layout reads as ``None`` rather than
+        raising).
+        """
+        left_slot = layout.get(self.left)
+        right_slot = layout.get(self.right)
+
+        def differ(columns, length, parameters):
+            left = columns[left_slot] if left_slot is not None else [None] * length
+            right = columns[right_slot] if right_slot is not None else [None] * length
+            return [a != b for a, b in zip(left, right)]
+
+        return differ
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"({self.left} <> {self.right})"
 

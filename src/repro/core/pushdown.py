@@ -29,7 +29,7 @@ SQL rendering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.errors import TriggerCompilationError
@@ -38,6 +38,7 @@ from repro.relational.triggers import TriggerContext, TriggerEvent
 from repro.xqgm.expressions import AttributeSpec, ColumnRef, ElementConstructor, Expression
 from repro.xqgm.evaluate import EvaluationContext, evaluate
 from repro.xqgm.graph import ensure_columns
+from repro.xqgm.columnar import ColumnarPlan, compile_columnar_plan
 from repro.xqgm.physical import PhysicalPlan, ResultCache, compile_plan
 from repro.xqgm.operators import JoinKind, JoinOp, Operator, ProjectOp, SelectOp
 from repro.xqgm.rewrite import compensate_old_aggregates, prune_columns, push_semijoin
@@ -136,6 +137,26 @@ class CompiledTableTrigger:
     #: fallback in effect); surfaced through the service's
     #: ``evaluation_report`` so the fallback can never go unnoticed.
     physical_compile_error: str | None = None
+    #: The batch-oriented columnar lowering (:mod:`repro.xqgm.columnar`),
+    #: selected per firing with ``use_columnar=True``; shares the plan-cache
+    #: entry with the row plans.
+    columnar_plan: ColumnarPlan | None = None
+    #: ``repr`` of the exception if columnar lowering failed (row engines in
+    #: effect); surfaced as ``columnar_plan_errors`` in ``evaluation_report``.
+    columnar_compile_error: str | None = None
+    #: Single-slot ``(root stamp, pairs)`` memo for the columnar engine.  All
+    #: sibling trigger groups fired by one statement evaluate this translation
+    #: under the same root stamp (context token + table versions), so the
+    #: derived pairs list is shared across them without re-entering the
+    #: engine.  Stored as one tuple so concurrent shard threads can never
+    #: observe a stamp paired with another firing's pairs; table version
+    #: stamps embed per-``Table``-instance uids, so a translation shared
+    #: across shard services (each with its own database) never aliases.
+    _columnar_pairs_memo: tuple | None = field(default=None, repr=False, compare=False)
+    #: Single-slot ``(context token, root stamp)`` memo: the stamp is
+    #: reassembled only when a new statement starts firing (same atomic
+    #: one-tuple discipline as ``_columnar_pairs_memo``).
+    _columnar_stamp_memo: tuple | None = field(default=None, repr=False, compare=False)
 
     def affected_pairs(
         self,
@@ -143,23 +164,92 @@ class CompiledTableTrigger:
         trigger_context: TriggerContext,
         *,
         use_compiled: bool = True,
+        use_columnar: bool = False,
         result_cache: ResultCache | None = None,
         cache_context_results: bool = True,
         stats: dict[str, int] | None = None,
+        engine_stats: dict[str, int] | None = None,
     ) -> list[AffectedPair]:
         """Evaluate the executable graph for one fired statement.
 
-        ``use_compiled`` selects the physical plan (the default; falls back
-        to the interpreter when no plan could be compiled);
+        ``use_columnar`` prefers the columnar plan, ``use_compiled`` the
+        physical row plan (the default); each falls back to the next engine —
+        columnar → compiled → interpreter — when no plan could be lowered.
         ``result_cache`` enables version-stamped reuse of stable subplan
         results across firings (``cache_context_results=False`` restricts it
         to cross-statement STABLE reuse); ``stats`` collects evaluation
         counters (``index_probes`` / ``hash_joins`` / ``cache_hits`` / ...).
+        ``engine_stats`` (always-on, unlike ``stats``) accumulates the
+        columnar firing/batch/fallback counters the service reports.
         """
-        context = EvaluationContext(database, trigger_context)
-        if stats is not None:
-            context.collect_stats = True
-            context.stats = stats
+        def make_context() -> EvaluationContext:
+            context = EvaluationContext(database, trigger_context)
+            if stats is not None:
+                context.collect_stats = True
+                context.stats = stats
+            return context
+
+        context: EvaluationContext | None = None
+        if use_columnar:
+            columnar = self.columnar_plan
+            if columnar is not None:
+                # Table versions cannot move while one statement's triggers
+                # fire, so the root stamp is a pure function of the firing's
+                # context token — assemble it once per statement instead of
+                # once per sibling group.  On the memo-hit fast path sibling
+                # firings return before even building an EvaluationContext.
+                stamp_memo = self._columnar_stamp_memo
+                if stamp_memo is not None and stamp_memo[0] == trigger_context.context_token:
+                    stamp = stamp_memo[1]
+                else:
+                    context = make_context()
+                    stamp = columnar.result_stamp(context, cache_context_results)
+                    self._columnar_stamp_memo = (trigger_context.context_token, stamp)
+                memoized = self._columnar_pairs_memo
+                if (
+                    stamp is not None
+                    and memoized is not None
+                    and memoized[0] == stamp
+                ):
+                    # A sibling group already derived the pairs for this root
+                    # stamp; the shared list must be treated as immutable.
+                    if engine_stats is not None:
+                        engine_stats["columnar_firings"] = (
+                            engine_stats.get("columnar_firings", 0) + 1
+                        )
+                    return memoized[1]
+                if context is None:
+                    context = make_context()
+                context.result_cache = result_cache
+                context.cache_context_results = cache_context_results
+                batch = columnar.execute(context).materialize()
+                if engine_stats is not None:
+                    engine_stats["columnar_firings"] = (
+                        engine_stats.get("columnar_firings", 0) + 1
+                    )
+                    engine_stats["columnar_batches"] = (
+                        engine_stats.get("columnar_batches", 0) + context.columnar_batches
+                    )
+                layout = columnar.layout
+                columns = batch.columns
+                key_columns = [columns[layout.index[c]] for c in self.key_columns]
+                old_column = columns[layout.index[OLD_NODE]]
+                new_column = columns[layout.index[NEW_NODE]]
+                pairs = [
+                    AffectedPair(key=key, old_node=old, new_node=new)
+                    for key, old, new in zip(zip(*key_columns), old_column, new_column)
+                ]
+                if stamp is not None:
+                    self._columnar_pairs_memo = (stamp, pairs)
+                return pairs
+            # No columnar lowering for this translation: fall through to the
+            # row engines, counted so the degradation is never silent.
+            if engine_stats is not None:
+                engine_stats["columnar_fallbacks"] = (
+                    engine_stats.get("columnar_fallbacks", 0) + 1
+                )
+        if context is None:
+            context = make_context()
         plan = self.physical_plan if use_compiled else None
         if plan is not None:
             context.result_cache = result_cache
@@ -264,6 +354,16 @@ def _translate_for_table(
         physical_plan = None
         physical_compile_error = repr(error)
 
+    # The columnar lowering is compiled alongside (same translate-time cost
+    # model); failures degrade to the row engines and are reported per firing
+    # as ``columnar_fallbacks`` / per translation as ``columnar_plan_errors``.
+    columnar_compile_error = None
+    try:
+        columnar_plan = compile_columnar_plan(executable, database)
+    except Exception as error:
+        columnar_plan = None
+        columnar_compile_error = repr(error)
+
     sql_text = render_sql_trigger(
         name=f"sql_{trigger_name}_{table}",
         table=table,
@@ -292,6 +392,8 @@ def _translate_for_table(
         sql_text=sql_text,
         physical_plan=physical_plan,
         physical_compile_error=physical_compile_error,
+        columnar_plan=columnar_plan,
+        columnar_compile_error=columnar_compile_error,
     )
 
 

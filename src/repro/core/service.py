@@ -222,6 +222,7 @@ class ActiveViewService:
         strict_actions: bool = False,
         plan_cache: PlanCache | None = None,
         use_compiled_plans: bool = True,
+        use_columnar: bool = False,
         result_cache_size: int = 512,
         collect_eval_stats: bool = False,
         backend: Any = None,
@@ -241,6 +242,19 @@ class ActiveViewService:
         # database only, so it is per-service even when the PlanCache (and
         # thereby the compiled plans) is shared across shard services.
         self.use_compiled_plans = use_compiled_plans
+        # The batch-oriented columnar engine (repro.xqgm.columnar) is opt-in:
+        # it prefers the columnar lowering per firing and degrades to the row
+        # engines for translations without one — every such degradation is
+        # counted (columnar_fallbacks / columnar_plan_errors in
+        # :meth:`evaluation_report`), never silent.  The columnar counters
+        # are maintained on the hot path regardless of collect_eval_stats so
+        # the zero-silent-fallback guarantee is always observable.
+        self.use_columnar = use_columnar
+        self.columnar_stats: dict[str, int] = {
+            "columnar_firings": 0,
+            "columnar_batches": 0,
+            "columnar_fallbacks": 0,
+        }
         self.result_cache = ResultCache(max_entries=result_cache_size)
         # When enabled, evaluation counters (index_probes / hash_joins /
         # cache_hits / rows_* ...) accumulate here across firings.
@@ -642,6 +656,15 @@ class ActiveViewService:
         that had to scan linearly because a condition has no indexable atom
         — the equivalence suites assert it stays zero on indexable
         populations).
+
+        The ``columnar_*`` counters are likewise always maintained:
+        ``columnar_firings`` / ``columnar_batches`` count firings served by
+        the columnar engine and the column batches they materialized;
+        ``columnar_fallbacks`` counts firings that degraded to the row
+        engines because a translation has no columnar lowering, and
+        ``columnar_plan_errors`` the currently-installed translations in that
+        state — both expected to be zero, and asserted zero by the columnar
+        equivalence suite so unlowerable operators can never pass silently.
         """
         report = dict(self.eval_stats)
         for key, value in self.result_cache.stats().items():
@@ -653,6 +676,13 @@ class ActiveViewService:
             for compiled in self._groups.values()
             for translation in compiled.translations.values()
             if translation.physical_plan is None
+        )
+        report.update(self.columnar_stats)
+        report["columnar_plan_errors"] = sum(
+            1
+            for compiled in self._groups.values()
+            for translation in compiled.translations.values()
+            if translation.columnar_plan is None
         )
         if self.backend is not None:
             report["backend_plans"] = len(self._backend_plans)
@@ -848,18 +878,25 @@ class ActiveViewService:
                 # group each plan runs once per firing, so only
                 # cross-statement STABLE reuse is worth its bookkeeping —
                 # CONTEXT stamping is switched off.
+                use_engine_cache = self.use_compiled_plans or self.use_columnar
                 pairs = translation.affected_pairs(
                     self.database,
                     context,
                     use_compiled=self.use_compiled_plans,
-                    result_cache=self.result_cache if self.use_compiled_plans else None,
+                    use_columnar=self.use_columnar,
+                    result_cache=self.result_cache if use_engine_cache else None,
                     cache_context_results=len(self._groups) > 1,
                     stats=self.eval_stats if self.collect_eval_stats else None,
+                    engine_stats=self.columnar_stats if self.use_columnar else None,
                 )
             if not pairs:
                 return
             self._activate_group(
-                compiled, translation, pairs, batch_seen=context.batch_seen
+                compiled,
+                translation,
+                pairs,
+                batch_seen=context.batch_seen,
+                probe_cache=context.probe_cache,
             )
 
         return body
@@ -870,6 +907,7 @@ class ActiveViewService:
         translation: CompiledTableTrigger,
         pairs,
         batch_seen: set | None = None,
+        probe_cache: dict | None = None,
     ) -> None:
         # The registry itself is the name -> spec index: trigger names are
         # globally unique, and a concurrently dropped trigger is absent from
@@ -884,7 +922,9 @@ class ActiveViewService:
         for pair in pairs:
             variables = {"OLD_NODE": pair.old_node, "NEW_NODE": pair.new_node}
             if matcher is not None:
-                rows, check_condition = matcher.candidates(variables, stats)
+                rows, check_condition = matcher.candidates(
+                    variables, stats, shared_probe_cache=probe_cache
+                )
             else:
                 rows, check_condition = constants_rows, condition is not None
             for row in rows:

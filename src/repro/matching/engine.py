@@ -278,7 +278,11 @@ class GroupMatcher:
     # ------------------------------------------------------------------ matching
 
     def candidates(
-        self, variables: dict[str, Any], stats: MatchStats | None = None
+        self,
+        variables: dict[str, Any],
+        stats: MatchStats | None = None,
+        *,
+        shared_probe_cache: dict | None = None,
     ) -> tuple[list["ConstantsRow"], bool]:
         """Candidate rows for one affected pair, plus whether the full
         condition must still be evaluated per candidate.
@@ -288,6 +292,13 @@ class GroupMatcher:
         Otherwise: per-atom index lookups, intersected; the residual check
         is skipped only when the plan covers the condition exactly and no
         atom had to widen conservatively.
+
+        ``shared_probe_cache`` (typically ``TriggerContext.probe_cache``)
+        shares xpath probe results across the trigger groups fired by one
+        statement: a probe shape evaluated against the same pair of nodes
+        yields the same node-set, so sibling groups reuse it instead of
+        re-walking the XML.  Keyed by node *identity*, which is stable for
+        the life of the context that owns the cache.
         """
         plan = self.plan
         if self.condition is None:
@@ -299,7 +310,12 @@ class GroupMatcher:
 
         if stats is not None:
             stats.probes += 1
-        probe_values: dict[str, list[Any]] = {}
+        probe_values: dict[str, list[Any]]
+        if shared_probe_cache is None:
+            probe_values = {}
+        else:
+            pair_token = (id(variables.get("OLD_NODE")), id(variables.get("NEW_NODE")))
+            probe_values = shared_probe_cache.setdefault(pair_token, {})
         selected: set[int] | None = None
         widened = False
         for eq in self._eq:

@@ -103,6 +103,12 @@ class TriggerContext:
     #: results across the many trigger groups fired by one statement while
     #: never confusing two different firings.
     context_token: int = field(init=False, repr=False, compare=False)
+    #: Shared scratch space for the matching engine: xpath probe results per
+    #: ``(old node id, new node id)`` pair, reused across the many trigger
+    #: groups fired by this statement when they probe the same affected nodes
+    #: (see :meth:`repro.matching.engine.GroupMatcher.candidates`).  Dies
+    #: with the context, so node ids can never alias across statements.
+    probe_cache: dict = field(default_factory=dict, init=False, repr=False, compare=False)
     _net_pruned_inserted: TransitionTable | None = field(
         default=None, init=False, repr=False, compare=False
     )

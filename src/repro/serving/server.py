@@ -153,7 +153,11 @@ class ActiveViewServer:
         owning shard's queue is full (producer backpressure).
     service_options:
         Extra keyword arguments forwarded to every per-shard
-        :class:`~repro.core.service.ActiveViewService`.
+        :class:`~repro.core.service.ActiveViewService` — e.g.
+        ``{"use_columnar": True}`` switches every shard's trigger firing to
+        the batch-oriented columnar engine (:mod:`repro.xqgm.columnar`); its
+        ``columnar_*`` counters then aggregate across shards in
+        :meth:`evaluation_report` like every other counter.
 
     Views, actions and triggers registered through the server are installed
     on every shard service; trigger compilation cost is shared through one

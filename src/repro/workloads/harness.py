@@ -232,6 +232,7 @@ class ExperimentHarness:
         durable_dir: str | None = None,
         durability_sync: str = "flush",
         use_compiled_plans: bool = True,
+        use_columnar: bool = False,
         collect_eval_stats: bool = False,
         backend: str | None = None,
         use_matching_indexes: bool = True,
@@ -248,8 +249,10 @@ class ExperimentHarness:
 
         ``use_compiled_plans`` toggles the compiled physical engine (on by
         default; off runs the interpreted oracle — the comparison the
-        evaluation-hot-path benchmark draws), and ``collect_eval_stats``
-        enables the evaluation counters surfaced by
+        evaluation-hot-path benchmark draws), ``use_columnar`` switches
+        trigger firing to the batch-oriented columnar engine
+        (:mod:`repro.xqgm.columnar`; the row engines stay as fallbacks), and
+        ``collect_eval_stats`` enables the evaluation counters surfaced by
         :meth:`ExperimentSetup.evaluation_report`.
 
         ``backend`` selects an execution backend by name (e.g. ``"sqlite"``)
@@ -297,6 +300,7 @@ class ExperimentHarness:
             database,
             mode=mode,
             use_compiled_plans=use_compiled_plans,
+            use_columnar=use_columnar,
             collect_eval_stats=collect_eval_stats,
             backend=backend,
             use_matching_indexes=use_matching_indexes,

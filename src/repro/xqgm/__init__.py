@@ -19,7 +19,11 @@ This package provides:
   substitution, column propagation (:mod:`repro.xqgm.graph`);
 * a one-time lowering of logical graphs into compiled physical plans — slot
   tuples, closure expressions, and a version-stamped shared-subgraph result
-  cache (:mod:`repro.xqgm.physical`; see ``docs/performance.md``).
+  cache (:mod:`repro.xqgm.physical`; see ``docs/performance.md``);
+* a batch-oriented columnar lowering of the same graphs — column batches
+  with shared selections, vectorized predicate masks, bulk hash joins and
+  sort-clustered grouped aggregation (:mod:`repro.xqgm.columnar`), reusing
+  the physical engine's stability classes and row-major result cache.
 """
 
 from repro.xqgm.expressions import (
@@ -51,6 +55,7 @@ from repro.xqgm.keys import derive_keys, operator_key
 from repro.xqgm.graph import clone_graph, ensure_columns, replace_table_variant, walk
 from repro.xqgm.evaluate import EvaluationContext, evaluate
 from repro.xqgm.physical import PhysicalPlan, ResultCache, SlotLayout, compile_plan
+from repro.xqgm.columnar import ColumnBatch, ColumnarPlan, compile_columnar_plan
 from repro.xqgm.views import PathGraph, ViewDefinition, ViewElementSpec
 
 __all__ = [
@@ -58,7 +63,9 @@ __all__ = [
     "Arithmetic",
     "AttributeSpec",
     "BooleanExpr",
+    "ColumnBatch",
     "ColumnRef",
+    "ColumnarPlan",
     "Comparison",
     "Constant",
     "ElementConstructor",
@@ -83,6 +90,7 @@ __all__ = [
     "ViewDefinition",
     "ViewElementSpec",
     "clone_graph",
+    "compile_columnar_plan",
     "compile_plan",
     "derive_keys",
     "ensure_columns",

@@ -80,6 +80,12 @@ class EvaluationContext:
     #: nothing to share and the bookkeeping would be pure overhead; STABLE
     #: (cross-statement) caching stays on regardless.
     cache_context_results: bool = True
+    #: Number of column batches materialized by the columnar engine
+    #: (:mod:`repro.xqgm.columnar`) during this evaluation — one per operator
+    #: `_compute`, excluding memo/result-cache hits.  Always maintained (not
+    #: gated on ``collect_stats``) so services can report batch counts from
+    #: the hot path; the row engines leave it at zero.
+    columnar_batches: int = 0
 
     def _bump(self, counter: str, amount: int = 1) -> None:
         """Increment a stats counter when stats collection is enabled.

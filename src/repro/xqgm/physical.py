@@ -51,11 +51,19 @@ across shard services (they reference base tables by name and receive the
 database through the evaluation context).  A :class:`ResultCache`, by
 contrast, stores data derived from one database's contents and must be
 owned by exactly one database's service (each shard keeps its own).
+
+A third engine lowers the same logical graphs to batch-oriented *columnar*
+operators (:mod:`repro.xqgm.columnar`); it reuses this module's slot
+layouts, stability classes, merge-spec slot arithmetic, and result cache
+(entries stay row-major so both engines can serve each other's hits), while
+replacing per-row closure application with column-at-a-time evaluation.
+This compiled row engine remains the fallback and the reference the
+columnar engine is differentially fuzzed against.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.errors import EvaluationError
 from repro.relational.types import sort_key
@@ -939,18 +947,27 @@ class PhysicalPlan:
         return f"PhysicalPlan(root={self.root.kind}, columns={list(self.layout.columns)})"
 
 
-def _operator_uses_parameters(op: Operator) -> bool:
-    """Whether evaluating ``op`` itself may read the parameter bindings."""
+def _operator_uses_parameters(
+    op: Operator,
+    expression_test: Callable[[Any], bool] = expression_uses_parameters,
+) -> bool:
+    """Whether evaluating ``op`` itself may read the parameter bindings.
+
+    ``expression_test`` decides per embedded expression; the default is the
+    conservative :func:`~repro.xqgm.expressions.expression_uses_parameters`
+    (unknown expression types count as parameter-dependent).  The columnar
+    compiler (:mod:`repro.xqgm.columnar`) passes a precise variant that
+    honours a per-expression ``uses_parameters()`` hook.
+    """
     if isinstance(op, SelectOp):
-        return expression_uses_parameters(op.predicate)
+        return expression_test(op.predicate)
     if isinstance(op, ProjectOp):
-        return any(expression_uses_parameters(e) for _, e in op.projections)
+        return any(expression_test(e) for _, e in op.projections)
     if isinstance(op, JoinOp):
-        return op.condition is not None and expression_uses_parameters(op.condition)
+        return op.condition is not None and expression_test(op.condition)
     if isinstance(op, GroupByOp):
         return any(
-            aggregate.argument is not None
-            and expression_uses_parameters(aggregate.argument)
+            aggregate.argument is not None and expression_test(aggregate.argument)
             for aggregate in op.aggregates
         )
     return False
