@@ -1,0 +1,193 @@
+"""Network front end: connection-scale activation fan-out.
+
+The paper's active-view scenario ends with *users* holding subscriptions
+("notify external users"); this benchmark measures the piece the in-process
+serving benchmarks cannot — how many **concurrent subscriber connections**
+the asyncio front end sustains while every one of them receives every
+activation of a trigger workload.
+
+Shape: one :class:`~repro.serving.ActiveViewServer` (hierarchy workload,
+Figure 17-style triggers) behind a :class:`~repro.serving.net.NetworkServer`;
+``CONNECTIONS`` network subscribers attach, then a producer client streams
+conflict-free leaf updates over the wire.  The run is **equivalence-checked**
+against an in-process :class:`~repro.serving.Subscriber` oracle attached to
+the same server: every connection must receive exactly the oracle's
+activation sequence, per shard, in order — delivery at scale, not best-effort
+sampling.  The headline metric is aggregate delivered activations per second
+(``deliveries_per_s``), gated by ``tools/check_bench_regression.py``.
+
+Run with pytest (scaled-down)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_net_fanout.py -q
+
+or standalone for the full 1000-connection point::
+
+    PYTHONPATH=src python -m benchmarks.bench_net_fanout
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import Counter
+
+from repro.serving import Subscriber
+from repro.serving.net import NetClient, NetworkServer
+from repro.workloads import ExperimentHarness
+
+from benchmarks.common import BENCH_DEFAULTS, BENCH_SCALE
+
+#: A small trigger population: fan-out cost scales with *subscribers x
+#: activations*, so the interesting axis is connection count, not triggers.
+PARAMETERS = BENCH_DEFAULTS.with_(
+    leaf_tuples=max(64, min(BENCH_DEFAULTS.leaf_tuples, 1_024)),
+    num_triggers=20,
+    satisfied_triggers=5,
+)
+
+#: Concurrent subscriber connections for the standalone run.  The floor is
+#: the acceptance bar: the front end must hold 1000 subscribers on the CI
+#: container; ``REPRO_BENCH_SCALE`` only scales it *up*.
+CONNECTIONS = max(1000, int(1000 * BENCH_SCALE))
+
+#: Producer statements streamed over the wire.
+UPDATES = 12
+
+#: Handshakes in flight at once while building the connection population.
+CONNECT_BATCH = 100
+
+
+def build_stack() -> tuple:
+    """A started server + network front end running the hierarchy workload."""
+    harness = ExperimentHarness(PARAMETERS)
+    server, workload = harness.build_server(PARAMETERS, shard_count=2)
+    oracle = Subscriber("oracle", capacity=65536)
+    server.attach_subscriber(oracle)
+    server.start()
+    net = NetworkServer(server, send_buffer=4096).start()
+    return server, net, workload, oracle
+
+
+async def _fan_out(host, port, statements, connections):
+    """Connect, subscribe, produce, and consume; returns the measured run."""
+    clients: list[NetClient] = []
+    connect_started = time.perf_counter()
+    for batch_start in range(0, connections, CONNECT_BATCH):
+        batch = min(CONNECT_BATCH, connections - batch_start)
+        clients.extend(
+            await asyncio.gather(
+                *(NetClient.connect(host, port) for _ in range(batch))
+            )
+        )
+    subscriptions = []
+    for batch_start in range(0, connections, CONNECT_BATCH):
+        subscriptions.extend(
+            await asyncio.gather(
+                *(client.subscribe() for client in
+                  clients[batch_start:batch_start + CONNECT_BATCH])
+            )
+        )
+    connect_seconds = time.perf_counter() - connect_started
+
+    producer = await NetClient.connect(host, port)
+    produce_started = time.perf_counter()
+    await producer.execute_batch(statements)
+
+    async def consume(subscription, expected):
+        received = []
+        while len(received) < expected:
+            activation = await subscription.get(timeout=120)
+            assert activation is not None, "stream ended early (pause/close)"
+            received.append(activation)
+        return received
+
+    # The oracle knows how many activations the workload produced; every
+    # connection must receive exactly that many (checked in detail after).
+    stats = await producer.stats()
+    expected = stats["activations_published"]
+    per_connection = await asyncio.gather(
+        *(consume(subscription, expected) for subscription in subscriptions)
+    )
+    fanout_seconds = time.perf_counter() - produce_started
+
+    for client in clients:
+        await client.close()
+    await producer.close()
+    return connect_seconds, fanout_seconds, expected, per_connection
+
+
+def run_fanout(connections: int) -> dict:
+    """One measured fan-out point, equivalence-checked against the oracle."""
+    server, net, workload, oracle = build_stack()
+    try:
+        statements = workload.client_streams(1, UPDATES)[0]
+        host, port = net.address
+        connect_seconds, fanout_seconds, expected, per_connection = asyncio.run(
+            _fan_out(host, port, statements, connections)
+        )
+        server.drain()
+        oracle_stream = oracle.drain()
+        assert len(oracle_stream) == expected
+        oracle_by_shard: dict[int, list[tuple]] = {}
+        for activation in oracle_stream:
+            oracle_by_shard.setdefault(activation.shard, []).append(
+                (activation.sequence, activation.trigger, activation.key)
+            )
+        # Every connection's stream is the oracle's stream: same multiset,
+        # same per-shard order.  (One violation anywhere fails the run.)
+        oracle_counter = Counter(
+            (a.shard, a.sequence, a.trigger) for a in oracle_stream
+        )
+        for received in per_connection:
+            assert Counter(
+                (a.shard, a.sequence, a.trigger) for a in received
+            ) == oracle_counter, "a connection diverged from the oracle"
+            by_shard: dict[int, list[tuple]] = {}
+            for activation in received:
+                by_shard.setdefault(activation.shard, []).append(
+                    (activation.sequence, activation.trigger, activation.key)
+                )
+            assert by_shard == oracle_by_shard
+        deliveries = expected * connections
+        report = net.net_report()
+        assert report["subscriptions_paused"] == 0, "fan-out paused a subscriber"
+        return {
+            "connections": connections,
+            "activations": expected,
+            "deliveries": deliveries,
+            "connect_per_s": round(connections / max(connect_seconds, 1e-9), 1),
+            "fanout_seconds": round(fanout_seconds, 3),
+            "deliveries_per_s": round(deliveries / max(fanout_seconds, 1e-9), 1),
+        }
+    finally:
+        net.stop()
+        server.stop()
+
+
+def test_every_connection_receives_the_oracle_stream():
+    """Scaled-down acceptance: full equivalence at 64 connections."""
+    result = run_fanout(64)
+    assert result["deliveries"] == result["activations"] * 64
+    assert result["activations"] > 0
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    from benchmarks.common import record_result
+
+    result = run_fanout(CONNECTIONS)
+    print(
+        f"connections={result['connections']}  "
+        f"activations={result['activations']}  "
+        f"deliveries={result['deliveries']}  "
+        f"connect {result['connect_per_s']:8.0f} conn/s  "
+        f"fan-out {result['deliveries_per_s']:8.0f} deliveries/s"
+    )
+    print("equivalence vs in-process oracle: OK (every connection, every activation)")
+    print("trajectory:", record_result(
+        "net_fanout", result,
+        headline="deliveries_per_s", higher_is_better=True,
+    ))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

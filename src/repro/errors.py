@@ -20,6 +20,8 @@ __all__ = [
     "ShardRoutingError",
     "ServingError",
     "ServerStoppedError",
+    "NetworkError",
+    "ProtocolError",
     "PersistenceError",
     "RecoveryError",
     "SqlError",
@@ -98,6 +100,22 @@ class ServingError(ReproError):
 
 class ServerStoppedError(ServingError):
     """A statement was submitted to a server that is not running."""
+
+
+class NetworkError(ServingError):
+    """Base class for errors raised by the network front end (``repro.serving.net``)."""
+
+
+class ProtocolError(NetworkError):
+    """A wire frame or message violated the framed protocol.
+
+    Raised by the codec on malformed frames (bad length, CRC mismatch,
+    undecodable payload) and by either endpoint on messages that cannot be
+    expressed on the wire (e.g. DML with Python callables) or that arrive
+    out of protocol (unknown type, missing handshake).  A server never
+    crashes on one: the offending connection is answered with an ``error``
+    frame where possible and closed.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -419,7 +419,9 @@ class DurableServer:
             {"kind": "ack", "sub": subscriber, "shard": shard, "seq": sequence}
         )
 
-    def subscribe(self, name: str, capacity: int = 256) -> Subscriber:
+    def subscribe(
+        self, name: str, capacity: int = 256, *, subscriber: Subscriber | None = None
+    ) -> Subscriber:
         """Attach (or resume) a durable named subscription.
 
         A *known* name (one that subscribed before — in a previous process
@@ -434,8 +436,23 @@ class DurableServer:
         knows what it has and has not seen.  Acking
         (:meth:`~repro.serving.subscribers.Subscriber.ack`) persists the
         cursor.
+
+        ``subscriber`` optionally injects a pre-built subscriber (the
+        network front end passes one whose delivery hands off to its event
+        loop).  An injected subscriber's ``_offer`` must be non-blocking;
+        in exchange it owns its own overflow policy, so the backlog-fits-
+        capacity check is skipped — a refused backlog entry stays unacked
+        in the outbox and is simply redelivered on the next resume, which
+        is exactly how the net layer pages a large backlog through a
+        bounded send buffer across reconnects.
         """
-        subscriber = Subscriber(name, capacity)
+        injected = subscriber is not None
+        if subscriber is None:
+            subscriber = Subscriber(name, capacity)
+        elif subscriber.name != name:
+            raise PersistenceError(
+                f"injected subscriber is named {subscriber.name!r}, not {name!r}"
+            )
         subscriber.on_ack = self._on_ack
         # Holding _pending_lock across cursor/backlog computation + attach
         # closes the gap where a concurrent activation could miss every
@@ -456,7 +473,7 @@ class DurableServer:
                     for activation in self._pending
                     if activation.sequence > cursor.get(activation.shard, 0)
                 ]
-                if len(backlog) > capacity:
+                if not injected and len(backlog) > capacity:
                     raise PersistenceError(
                         f"subscriber {name!r} has {len(backlog)} activations to "
                         f"redeliver but capacity {capacity}; subscribe with a "

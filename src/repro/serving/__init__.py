@@ -10,10 +10,17 @@ This package turns the single-caller pipeline of
   shards;
 * :class:`Subscriber` / :class:`Activation`
   (:mod:`repro.serving.subscribers`) — bounded activation fan-out with
-  at-least-once, per-node-ordered delivery.
+  at-least-once, per-node-ordered delivery;
+* :mod:`repro.serving.net` — an asyncio TCP front end (framed wire
+  protocol, connection-scale subscription fan-out, resumable cursors).
+  Imported explicitly (``from repro.serving.net import NetworkServer,
+  NetClient``) so the in-process layer stays free of the durability
+  dependency.
 
-See ``docs/api.md`` for the full reference and
-``examples/concurrent_subscribers.py`` for an end-to-end walkthrough.
+See ``docs/api.md`` for the full reference,
+``examples/concurrent_subscribers.py`` for the in-process walkthrough, and
+``examples/network_subscribers.py`` + ``docs/networking.md`` for the
+network layer.
 """
 
 from repro.serving.server import ActiveViewServer, ShardStats, Ticket

@@ -1,0 +1,34 @@
+"""Network front end for the serving layer: framed protocol, server, client.
+
+See :mod:`repro.serving.net.protocol` for the wire format,
+:mod:`repro.serving.net.netserver` for the asyncio server,
+:mod:`repro.serving.net.client` for the asyncio client, and
+``docs/networking.md`` for the protocol reference.
+"""
+
+from repro.serving.net.client import NetClient, NetSubscription
+from repro.serving.net.netserver import NetworkServer
+from repro.serving.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    activation_from_wire,
+    activation_to_wire,
+    encode_frame,
+    read_frame,
+    statement_from_wire,
+    statement_to_wire,
+)
+
+__all__ = [
+    "NetClient",
+    "NetSubscription",
+    "NetworkServer",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME",
+    "encode_frame",
+    "read_frame",
+    "statement_to_wire",
+    "statement_from_wire",
+    "activation_to_wire",
+    "activation_from_wire",
+]

@@ -79,21 +79,46 @@ class Ticket:
         self._parts = parts
         self._results: list[StatementResult] = []
         self._error: BaseException | None = None
+        self._callbacks: list[Callable[["Ticket"], None]] = []
 
     def _resolve(self, result: StatementResult) -> None:
         with self._lock:
             self._results.append(result)
             self._remaining -= 1
-            if self._remaining <= 0:
+            done = self._remaining <= 0
+            if done:
                 self._event.set()
+                callbacks, self._callbacks = self._callbacks, []
+        if done:
+            for callback in callbacks:
+                callback(self)
 
     def _fail(self, error: BaseException) -> None:
         with self._lock:
             if self._error is None:
                 self._error = error
             self._remaining -= 1
-            if self._remaining <= 0:
+            done = self._remaining <= 0
+            if done:
                 self._event.set()
+                callbacks, self._callbacks = self._callbacks, []
+        if done:
+            for callback in callbacks:
+                callback(self)
+
+    def add_done_callback(self, callback: Callable[["Ticket"], None]) -> None:
+        """Invoke ``callback(ticket)`` once every part has finished.
+
+        Runs on the resolving shard worker's thread (immediately on the
+        caller's when already done), so callbacks must be cheap and
+        non-blocking — the network front end uses one to hand completion
+        back to its event loop without parking a thread per statement.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     @property
     def done(self) -> bool:
@@ -131,6 +156,16 @@ class ShardStats:
     def mean_batch(self) -> float:
         """Average micro-batch size observed so far."""
         return self.statements / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-scalar form (wire-encodable for the ``stats`` reply)."""
+        return {
+            "submitted": self.submitted,
+            "statements": self.statements,
+            "batches": self.batches,
+            "max_batch": self.max_batch,
+            "errors": self.errors,
+        }
 
 
 class ActiveViewServer:

@@ -128,11 +128,20 @@ class Subscriber:
         at-least-once across crashes.  Without durability, ack is merely
         bookkeeping (:attr:`acked`).
         """
-        current = self._acked.get(activation.shard, 0)
-        if activation.sequence > current:
-            self._acked[activation.shard] = activation.sequence
+        self.ack_position(activation.shard, activation.sequence)
+
+    def ack_position(self, shard: int, sequence: int) -> None:
+        """Acknowledge by position — same semantics as :meth:`ack`.
+
+        The network front end acknowledges with ``(shard, sequence)`` pairs
+        from ``ACK`` frames, where no :class:`Activation` object exists
+        server-side anymore; both entry points share this cursor update.
+        """
+        current = self._acked.get(shard, 0)
+        if sequence > current:
+            self._acked[shard] = sequence
         if self.on_ack is not None:
-            self.on_ack(self.name, activation.shard, activation.sequence)
+            self.on_ack(self.name, shard, sequence)
 
     @property
     def acked(self) -> dict[int, int]:

@@ -1,0 +1,308 @@
+"""Protocol fuzz: hostile bytes must never crash, hang, or corrupt the server.
+
+Two layers, both seeded from the session seed (``REPRO_TEST_SEED``
+reproduces any failure bit-for-bit):
+
+* **codec level** — :func:`repro.serving.net.protocol.read_frame` is fed
+  torn frames, bit-flipped frames, garbage headers, oversized and
+  zero-length declarations, and well-encoded payloads that are not
+  messages.  Every outcome must be a :class:`~repro.errors.ProtocolError`
+  or an ``IncompleteReadError`` — never any other exception, never a hang,
+  never a silently wrong message;
+* **live socket level** — a running :class:`NetworkServer` takes volleys of
+  malformed connections (garbage streams, mid-frame disconnects, hostile
+  length headers, valid handshakes followed by junk).  After every volley
+  the server must still serve a well-behaved client, and every hostile
+  connection must be fully cleaned up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.persist.codec import encode_value
+from repro.relational.dml import UpdateStatement
+from repro.serving import ActiveViewServer
+from repro.serving.net import NetClient, NetworkServer
+from repro.serving.net.protocol import (
+    HEADER,
+    PROTOCOL_VERSION,
+    encode_frame,
+    read_frame,
+)
+from repro.xqgm.views import catalog_view
+
+from tests.serving.conftest import build_sharded_paper_database
+
+#: Exceptions a hostile byte stream is *allowed* to produce.
+ALLOWED = (ProtocolError, asyncio.IncompleteReadError)
+
+
+def feed(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def read_bytes(data: bytes, **kwargs):
+    """Run read_frame over a byte string; returns the message or the error."""
+
+    async def scenario():
+        try:
+            return await asyncio.wait_for(
+                read_frame(feed(data), **kwargs), timeout=5
+            )
+        except ALLOWED as error:
+            return error
+
+    return asyncio.run(scenario())
+
+
+def random_message(rng: random.Random, depth: int = 0) -> dict:
+    """A random wire message built from codec-encodable values."""
+
+    def value(level: int):
+        choices = ["int", "float", "str", "bytes", "bool", "none"]
+        if level < 2:
+            choices += ["list", "dict", "tuple"]
+        kind = rng.choice(choices)
+        if kind == "int":
+            return rng.randint(-(2**40), 2**40)
+        if kind == "float":
+            return rng.uniform(-1e6, 1e6)
+        if kind == "str":
+            return "".join(
+                rng.choice("abcdefghij é中\U0001f600")
+                for _ in range(rng.randint(0, 12))
+            )
+        if kind == "bytes":
+            return rng.randbytes(rng.randint(0, 16))
+        if kind == "bool":
+            return rng.random() < 0.5
+        if kind == "none":
+            return None
+        if kind == "tuple":
+            return tuple(value(level + 1) for _ in range(rng.randint(0, 3)))
+        if kind == "list":
+            return [value(level + 1) for _ in range(rng.randint(0, 4))]
+        return {
+            f"k{i}": value(level + 1) for i in range(rng.randint(0, 4))
+        }
+
+    message = {f"field{i}": value(depth) for i in range(rng.randint(0, 5))}
+    message["type"] = rng.choice(["ping", "submit", "whatever", "x" * 40])
+    return message
+
+
+# ---------------------------------------------------------------- codec level
+
+
+class TestFrameCodecFuzz:
+    def test_round_trip_of_random_messages(self, session_rng):
+        for _ in range(200):
+            message = random_message(session_rng)
+            decoded = read_bytes(encode_frame(message))
+            assert decoded == message
+
+    def test_truncation_at_every_boundary(self, session_rng):
+        frame = encode_frame(random_message(session_rng))
+        for cut in range(len(frame)):
+            outcome = read_bytes(frame[:cut])
+            # A torn frame is always an IncompleteReadError: the declared
+            # length can't be satisfied.  (ProtocolError can only appear if
+            # the cut leaves a *complete* lie, which truncation never does.)
+            assert isinstance(outcome, ALLOWED), (cut, outcome)
+
+    def test_single_bit_flips_are_always_detected(self, session_rng):
+        message = random_message(session_rng)
+        frame = bytearray(encode_frame(message))
+        for _ in range(300):
+            position = session_rng.randrange(len(frame))
+            bit = 1 << session_rng.randrange(8)
+            mutated = bytearray(frame)
+            mutated[position] ^= bit
+            outcome = read_bytes(bytes(mutated))
+            assert isinstance(outcome, ALLOWED), (
+                f"bit flip at byte {position} slipped through: {outcome!r}"
+            )
+
+    def test_random_garbage_streams(self, session_rng):
+        for _ in range(300):
+            garbage = session_rng.randbytes(session_rng.randint(0, 64))
+            outcome = read_bytes(garbage)
+            assert isinstance(outcome, ALLOWED), outcome
+
+    def test_zero_length_frame_is_an_error(self):
+        data = HEADER.pack(0, 0)
+        assert isinstance(read_bytes(data), ProtocolError)
+
+    def test_oversized_declaration_fails_before_reading_payload(self):
+        # The body is *absent*; an implementation that tried to read it
+        # first would raise IncompleteReadError instead of ProtocolError.
+        data = HEADER.pack(2**31, 0)
+        outcome = read_bytes(data, max_frame=1024)
+        assert isinstance(outcome, ProtocolError)
+        assert "exceeds" in str(outcome)
+
+    def test_valid_codec_payload_that_is_not_a_message(self):
+        import zlib
+
+        for payload_value in (42, [1, 2, 3], {"no": "type"}, {"type": 7}):
+            payload = encode_value(payload_value)
+            data = HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+            assert isinstance(read_bytes(data), ProtocolError)
+
+    def test_encode_rejects_non_messages(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"no-type": 1})
+        with pytest.raises(ProtocolError):
+            encode_frame({"type": 99})
+
+
+# ----------------------------------------------------------------- live server
+
+
+@pytest.fixture
+def live():
+    server = ActiveViewServer(build_sharded_paper_database(2))
+    server.register_view(catalog_view())
+    server.register_action("notify", lambda node: None)
+    server.start()
+    net = NetworkServer(server, send_buffer=16, max_frame=64 * 1024).start()
+    try:
+        yield net
+    finally:
+        net.stop()
+        server.stop()
+
+
+async def hostile_volley(host: str, port: int, rng: random.Random) -> None:
+    """One hostile connection chosen from the abuse repertoire."""
+    behaviour = rng.choice(
+        ["garbage", "hello_then_garbage", "torn_frame", "big_header",
+         "zero_length", "unknown_type", "instant_close", "bad_crc"]
+    )
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        if behaviour == "garbage":
+            writer.write(rng.randbytes(rng.randint(1, 256)))
+            await writer.drain()
+        elif behaviour == "hello_then_garbage":
+            writer.write(encode_frame({"type": "hello", "version": PROTOCOL_VERSION}))
+            writer.write(rng.randbytes(rng.randint(9, 128)))
+            await writer.drain()
+        elif behaviour == "torn_frame":
+            writer.write(encode_frame({"type": "hello", "version": PROTOCOL_VERSION}))
+            frame = encode_frame({"type": "ping", "id": 1})
+            writer.write(frame[: rng.randint(1, len(frame) - 1)])
+            await writer.drain()
+            # ...and vanish mid-frame.
+        elif behaviour == "big_header":
+            writer.write(HEADER.pack(2**31 - 1, 0))
+            await writer.drain()
+        elif behaviour == "zero_length":
+            writer.write(HEADER.pack(0, 0))
+            await writer.drain()
+        elif behaviour == "unknown_type":
+            writer.write(encode_frame({"type": "hello", "version": PROTOCOL_VERSION}))
+            writer.write(encode_frame({"type": "mystery", "id": 1}))
+            await writer.drain()
+        elif behaviour == "bad_crc":
+            frame = bytearray(encode_frame({"type": "hello", "version": 1}))
+            frame[-1] ^= 0xFF
+            writer.write(bytes(frame))
+            await writer.drain()
+        # "instant_close" sends nothing at all.
+        if rng.random() < 0.5:
+            # Half the time, linger until the server reacts (error frame or
+            # close); the other half, disconnect abruptly right away.
+            try:
+                await asyncio.wait_for(reader.read(4096), timeout=2)
+            except asyncio.TimeoutError:
+                pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class TestLiveServerFuzz:
+    def test_hostile_volleys_never_take_the_server_down(self, live, session_rng):
+        host, port = live.address
+
+        async def scenario():
+            for _ in range(40):
+                await asyncio.wait_for(
+                    hostile_volley(host, port, session_rng), timeout=10
+                )
+            # Interleave: a burst of concurrent hostiles.
+            await asyncio.wait_for(
+                asyncio.gather(
+                    *(hostile_volley(host, port, session_rng) for _ in range(10))
+                ),
+                timeout=30,
+            )
+            # The server must still speak fluent protocol with a good client.
+            async with await NetClient.connect(host, port) as client:
+                await client.ping()
+                summaries = await client.execute(
+                    UpdateStatement("vendor", {"price": 63.0}, keys=[("Amazon", "P1")])
+                )
+                assert summaries[0]["rowcount"] == 1
+                subscription = await client.subscribe()
+                assert subscription is not None
+
+        asyncio.run(scenario())
+        # Every hostile connection was torn down; nothing leaked.
+        deadline = 50
+        while live.connection_count > 0 and deadline > 0:
+            import time
+
+            time.sleep(0.1)
+            deadline -= 1
+        assert live.connection_count == 0
+        assert live.counters["protocol_errors"] > 0
+
+    def test_mid_frame_disconnect_during_handshake(self, live):
+        host, port = live.address
+
+        async def scenario():
+            for cut_frame in (
+                encode_frame({"type": "hello", "version": PROTOCOL_VERSION}),
+                encode_frame({"type": "hello", "version": 999}),
+            ):
+                _, writer = await asyncio.open_connection(host, port)
+                writer.write(cut_frame[: len(cut_frame) // 2])
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            async with await NetClient.connect(host, port) as client:
+                await client.ping()
+
+        asyncio.run(scenario())
+
+    def test_oversized_frame_gets_error_frame_then_close(self, live):
+        host, port = live.address
+
+        async def scenario():
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_frame({"type": "hello", "version": PROTOCOL_VERSION}))
+            await writer.drain()
+            welcome = await asyncio.wait_for(read_frame(reader), timeout=5)
+            assert welcome["type"] == "welcome"
+            writer.write(HEADER.pack(2**30, 0))  # lies about a 1 GiB payload
+            await writer.drain()
+            error = await asyncio.wait_for(read_frame(reader), timeout=5)
+            assert error["type"] == "error"
+            assert error["code"] == "protocol"
+            assert await asyncio.wait_for(reader.read(), timeout=5) == b""
+            writer.close()
+
+        asyncio.run(scenario())
