@@ -9,18 +9,31 @@ activation of a trigger workload.
 Shape: one :class:`~repro.serving.ActiveViewServer` (hierarchy workload,
 Figure 17-style triggers) behind a :class:`~repro.serving.net.NetworkServer`;
 ``CONNECTIONS`` network subscribers attach, then a producer client streams
-conflict-free leaf updates over the wire.  The run is **equivalence-checked**
+conflict-free leaf updates over the wire.  Every run is **equivalence-checked**
 against an in-process :class:`~repro.serving.Subscriber` oracle attached to
 the same server: every connection must receive exactly the oracle's
 activation sequence, per shard, in order — delivery at scale, not best-effort
-sampling.  The headline metric is aggregate delivered activations per second
-(``deliveries_per_s``), gated by ``tools/check_bench_regression.py``.
+sampling.
+
+The standalone run sweeps the front-end configuration: an unbatched
+single-loop reference point (today's wire path with batching negotiated
+off) against activation frame batching at ``loops`` ∈ {1, 2, 4}.  The
+headline metric is the batched 4-loop aggregate delivery rate
+(``batched_deliveries_per_s``), gated by
+``tools/check_bench_regression.py``; the run itself additionally asserts
+the batched multi-loop front end beats the **recorded PR 8 single-loop
+baseline** (the first ``deliveries_per_s`` record in
+``benchmarks/results/BENCH_net_fanout.json``, measured before the
+multi-loop/batching work) by ``MIN_SPEEDUP``x.  The in-run unbatched
+point is reported, not gated: it shares this PR's delivery-path
+optimizations (coalesced wakeups, decode caches), so it moves together
+with the batched points and understates the speedup over PR 8.
 
 Run with pytest (scaled-down)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_net_fanout.py -q
 
-or standalone for the full 1000-connection point::
+or standalone for the full 1000-connection sweep::
 
     PYTHONPATH=src python -m benchmarks.bench_net_fanout
 """
@@ -28,8 +41,12 @@ or standalone for the full 1000-connection point::
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from collections import Counter
+from pathlib import Path
+
+import pytest
 
 from repro.serving import Subscriber
 from repro.serving.net import NetClient, NetworkServer
@@ -56,15 +73,56 @@ UPDATES = 12
 #: Handshakes in flight at once while building the connection population.
 CONNECT_BATCH = 100
 
+#: Loop counts swept by the standalone run (batching on).
+LOOP_SWEEP = (1, 2, 4)
 
-def build_stack() -> tuple:
+#: Required speedup of the batched 4-loop point over the recorded PR 8
+#: single-loop baseline — the PR's acceptance gate.
+MIN_SPEEDUP = 2.0
+
+#: The PR 8 single-loop front end measured 680 deliveries/s at 1000
+#: connections on the reference container (first record in
+#: ``benchmarks/results/BENCH_net_fanout.json``).  Used as a fallback when
+#: the results file is unavailable (fresh checkout without history).
+PR8_BASELINE_DELIVERIES_PER_S = 680.0
+
+
+def pr8_baseline_deliveries_per_s() -> float:
+    """The recorded PR 8 headline: first ``deliveries_per_s`` record.
+
+    Later records use the ``batched_deliveries_per_s`` headline, so the
+    first single-frame record stays the pre-batching anchor even as the
+    trajectory file grows.
+    """
+    results = Path(__file__).resolve().parent / "results" / "BENCH_net_fanout.json"
+    try:
+        records = json.loads(results.read_text())
+    except (OSError, ValueError):
+        return PR8_BASELINE_DELIVERIES_PER_S
+    for record in records:
+        headline = record.get("_headline", {})
+        if headline.get("metric") == "deliveries_per_s":
+            return float(record["deliveries_per_s"])
+    return PR8_BASELINE_DELIVERIES_PER_S
+
+#: Batch linger for the batched sweep points.  Fan-out throughput wants a
+#: linger generous relative to the engine's burst production (~tens of ms
+#: for a statement batch) so one burst coalesces into one frame per
+#: connection; the 2 ms server default favors latency instead.
+BATCH_LINGER = 0.02
+
+
+def build_stack(*, loops: int = 1, batching: bool = True) -> tuple:
     """A started server + network front end running the hierarchy workload."""
     harness = ExperimentHarness(PARAMETERS)
     server, workload = harness.build_server(PARAMETERS, shard_count=2)
     oracle = Subscriber("oracle", capacity=65536)
     server.attach_subscriber(oracle)
     server.start()
-    net = NetworkServer(server, send_buffer=4096).start()
+    net = NetworkServer(
+        server, send_buffer=4096, loops=loops, batching=batching,
+        batch_linger=BATCH_LINGER,
+    ).start()
     return server, net, workload, oracle
 
 
@@ -116,9 +174,9 @@ async def _fan_out(host, port, statements, connections):
     return connect_seconds, fanout_seconds, expected, per_connection
 
 
-def run_fanout(connections: int) -> dict:
+def run_fanout(connections: int, *, loops: int = 1, batching: bool = True) -> dict:
     """One measured fan-out point, equivalence-checked against the oracle."""
-    server, net, workload, oracle = build_stack()
+    server, net, workload, oracle = build_stack(loops=loops, batching=batching)
     try:
         statements = workload.client_streams(1, UPDATES)[0]
         host, port = net.address
@@ -151,41 +209,89 @@ def run_fanout(connections: int) -> dict:
         deliveries = expected * connections
         report = net.net_report()
         assert report["subscriptions_paused"] == 0, "fan-out paused a subscriber"
+        if not batching:
+            assert report["activation_batches_sent"] == 0
         return {
             "connections": connections,
+            "loops": loops,
+            "batching": batching,
             "activations": expected,
             "deliveries": deliveries,
             "connect_per_s": round(connections / max(connect_seconds, 1e-9), 1),
             "fanout_seconds": round(fanout_seconds, 3),
             "deliveries_per_s": round(deliveries / max(fanout_seconds, 1e-9), 1),
+            "frames_sent": report["frames_sent"],
+            "activation_batches_sent": report["activation_batches_sent"],
+            "shared_encode_hits": report["shared_encode_hits"],
         }
     finally:
         net.stop()
         server.stop()
 
 
-def test_every_connection_receives_the_oracle_stream():
+@pytest.mark.parametrize(
+    "loops,batching", [(1, False), (2, True)], ids=["baseline", "loops2-batched"]
+)
+def test_every_connection_receives_the_oracle_stream(loops, batching):
     """Scaled-down acceptance: full equivalence at 64 connections."""
-    result = run_fanout(64)
+    result = run_fanout(64, loops=loops, batching=batching)
     assert result["deliveries"] == result["activations"] * 64
     assert result["activations"] > 0
+    if batching:
+        assert result["activation_batches_sent"] > 0
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
     from benchmarks.common import record_result
 
-    result = run_fanout(CONNECTIONS)
-    print(
-        f"connections={result['connections']}  "
-        f"activations={result['activations']}  "
-        f"deliveries={result['deliveries']}  "
-        f"connect {result['connect_per_s']:8.0f} conn/s  "
-        f"fan-out {result['deliveries_per_s']:8.0f} deliveries/s"
+    def show(result: dict) -> None:
+        mode = "batched " if result["batching"] else "unbatched"
+        print(
+            f"loops={result['loops']}  {mode}  "
+            f"connections={result['connections']}  "
+            f"activations={result['activations']}  "
+            f"frames={result['frames_sent']}  "
+            f"fan-out {result['deliveries_per_s']:9.0f} deliveries/s"
+        )
+
+    unbatched = run_fanout(CONNECTIONS, loops=1, batching=False)
+    show(unbatched)
+    sweep = []
+    for loops in LOOP_SWEEP:
+        point = run_fanout(CONNECTIONS, loops=loops, batching=True)
+        sweep.append(point)
+        show(point)
+    headline = sweep[-1]
+    pr8_baseline = pr8_baseline_deliveries_per_s()
+    speedup = headline["deliveries_per_s"] / max(pr8_baseline, 1e-9)
+    vs_unbatched = headline["deliveries_per_s"] / max(
+        unbatched["deliveries_per_s"], 1e-9
     )
-    print("equivalence vs in-process oracle: OK (every connection, every activation)")
+    print("equivalence vs in-process oracle: OK (every run, every connection)")
+    print(
+        f"batched loops={headline['loops']} vs PR 8 baseline "
+        f"({pr8_baseline:.0f}/s): {speedup:.2f}x"
+        f"  (vs in-run unbatched: {vs_unbatched:.2f}x)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"front end too slow: {speedup:.2f}x < required {MIN_SPEEDUP}x"
+    )
+    summary = {
+        "connections": CONNECTIONS,
+        "activations": headline["activations"],
+        "deliveries": headline["deliveries"],
+        "pr8_baseline_deliveries_per_s": pr8_baseline,
+        "unbatched_deliveries_per_s": unbatched["deliveries_per_s"],
+        "sweep": {f"loops_{p['loops']}": p["deliveries_per_s"] for p in sweep},
+        "batched_deliveries_per_s": headline["deliveries_per_s"],
+        "speedup_vs_pr8": round(speedup, 2),
+        "speedup_vs_unbatched": round(vs_unbatched, 2),
+        "frames_sent_unbatched": unbatched["frames_sent"],
+        "frames_sent_batched": headline["frames_sent"],
+    }
     print("trajectory:", record_result(
-        "net_fanout", result,
-        headline="deliveries_per_s", higher_is_better=True,
+        "net_fanout", summary,
+        headline="batched_deliveries_per_s", higher_is_better=True,
     ))
 
 

@@ -172,9 +172,11 @@ def main() -> None:
     try:
         server = open_server(directory)
         server.start()
-        net = NetworkServer(server).start()
+        # Two loops so the walkthrough also exercises connection placement
+        # (SO_REUSEPORT where the platform has it, hand-off elsewhere).
+        net = NetworkServer(server, loops=2).start()
         host, port = net.address
-        print(f"network front end listening on {host}:{port}")
+        print(f"network front end listening on {host}:{port} (loops=2)")
         try:
             asyncio.run(run_clients(host, port))
         finally:

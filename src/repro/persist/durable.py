@@ -582,6 +582,26 @@ class DurableServer:
             self.outbox.rewrite(activation_to_record(a) for a in retained)
             self._pending = retained
 
+    def durability_report(self) -> dict:
+        """Wire-encodable snapshot of the outbox and cursor state.
+
+        Surfaced by the network front end's ``stats`` frame so an operator
+        can see, per durable subscriber, how far its cursor lags the
+        accepted watermark (the redelivery debt a crash would incur).
+        """
+        with self._pending_lock:
+            pending = len(self._pending)
+            accepted = dict(self._accepted)
+            cursors = {
+                name: dict(cursor) for name, cursor in list(self._cursors.items())
+            }
+        return {
+            "outbox_pending": pending,
+            "accepted": accepted,
+            "cursors": cursors,
+            "redelivered": dict(self.redelivered),
+        }
+
     def close(self) -> None:
         """Stop (draining) and close every durable file."""
         self.stop(drain=True)

@@ -18,7 +18,7 @@ and the outbox all share one vocabulary:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, MutableMapping, Sequence
 
 from repro.core.trigger import TriggerSpec
 from repro.relational.dml import CoalescedDelta
@@ -145,8 +145,35 @@ def activation_to_record(activation: Activation) -> dict:
     }
 
 
-def activation_from_record(record: dict) -> Activation:
-    """Rebuild an activation, re-parsing the serialized nodes."""
+#: Bound on a caller-supplied node cache (see ``activation_from_record``).
+NODE_CACHE_LIMIT = 1024
+
+
+def _parse_node(source: str, cache: MutableMapping[str, Any] | None):
+    """Parse a serialized node, memoized in ``cache`` when one is given.
+
+    A fan-out consumer decodes the *same* serialized node once per
+    redelivery (and a many-client process once per client); parsing
+    dominates activation decode by orders of magnitude, so sharing the
+    parsed node is the decode-side mirror of the server's shared encode
+    cache.  Sharing is safe for the same reason in-process subscribers
+    share one :class:`Activation`: delivered nodes are read-only snapshots.
+    """
+    if cache is None:
+        return parse_xml(source)
+    node = cache.get(source)
+    if node is None:
+        node = parse_xml(source)
+        if len(cache) >= NODE_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[source] = node
+    return node
+
+
+def activation_from_record(
+    record: dict, *, node_cache: MutableMapping[str, Any] | None = None
+) -> Activation:
+    """Rebuild an activation, re-parsing (or cache-sharing) the nodes."""
     return Activation(
         shard=record["shard"],
         sequence=record["sequence"],
@@ -155,6 +182,12 @@ def activation_from_record(record: dict) -> Activation:
         path=tuple(record["path"]),
         event=TriggerEvent(record["event"]),
         key=tuple(record["key"]),
-        old_node=parse_xml(record["old"]) if record["old"] is not None else None,
-        new_node=parse_xml(record["new"]) if record["new"] is not None else None,
+        old_node=(
+            _parse_node(record["old"], node_cache)
+            if record["old"] is not None else None
+        ),
+        new_node=(
+            _parse_node(record["new"], node_cache)
+            if record["new"] is not None else None
+        ),
     )

@@ -1,19 +1,27 @@
 """Network front end for the serving layer: framed protocol, server, client.
 
 See :mod:`repro.serving.net.protocol` for the wire format,
-:mod:`repro.serving.net.netserver` for the asyncio server,
+:mod:`repro.serving.net.netserver` for the multi-loop asyncio server
+(:mod:`repro.serving.net.connection` holds the per-loop connection
+runtime, :mod:`repro.serving.net.frames` the cross-loop encode cache),
 :mod:`repro.serving.net.client` for the asyncio client, and
 ``docs/networking.md`` for the protocol reference.
 """
 
 from repro.serving.net.client import NetClient, NetSubscription
+from repro.serving.net.frames import SharedFrameCache
 from repro.serving.net.netserver import NetworkServer
 from repro.serving.net.protocol import (
+    CAP_ACTIVATION_BATCH,
     DEFAULT_MAX_FRAME,
+    MAX_BATCH_ACTIVATIONS,
     PROTOCOL_VERSION,
+    SUPPORTED_CAPS,
     activation_from_wire,
     activation_to_wire,
+    batch_payloads,
     encode_frame,
+    negotiate_caps,
     read_frame,
     statement_from_wire,
     statement_to_wire,
@@ -23,8 +31,14 @@ __all__ = [
     "NetClient",
     "NetSubscription",
     "NetworkServer",
+    "SharedFrameCache",
     "PROTOCOL_VERSION",
     "DEFAULT_MAX_FRAME",
+    "CAP_ACTIVATION_BATCH",
+    "SUPPORTED_CAPS",
+    "MAX_BATCH_ACTIVATIONS",
+    "negotiate_caps",
+    "batch_payloads",
     "encode_frame",
     "read_frame",
     "statement_to_wire",

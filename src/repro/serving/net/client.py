@@ -35,9 +35,14 @@ from repro.relational.dml import Statement
 from repro.serving.net.protocol import (
     DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
+    SUPPORTED_CAPS,
     activation_from_wire,
+    batch_payloads,
+    decode_payload,
     encode_frame,
+    negotiate_caps,
     read_frame,
+    read_frame_payload,
     statement_to_wire,
 )
 from repro.serving.subscribers import Activation
@@ -46,6 +51,28 @@ __all__ = ["NetClient", "NetSubscription"]
 
 #: Sentinel queued into a subscription to mark end-of-stream (pause/close).
 _STREAM_END = object()
+
+#: Process-wide decode memo for server *push* frames, keyed by the frame's
+#: CRC-verified payload bytes.  The server encodes an activation (or batch)
+#: once and writes the identical frame to every subscriber; a process
+#: holding many subscriber connections receives those same bytes once per
+#: connection, and this is the decode-side mirror of that shared encode
+#: cache: one payload decode + one Activation materialization per distinct
+#: frame.  Sharing the Activation objects across connections matches
+#: in-process delivery, where every subscriber receives the same
+#: (read-only) Activation instance.  Only fully validated activation pushes
+#: are stored, so a cache hit can never skip a validation step.  Plain-dict
+#: operations are GIL-atomic; the worst cross-loop race costs a duplicate
+#: decode.
+_PUSH_DECODE_CACHE: dict[bytes, tuple[bool, tuple[Activation, ...]]] = {}
+_PUSH_DECODE_CACHE_LIMIT = 128
+
+
+def _remember_push(payload: bytes, is_batch: bool,
+                   activations: tuple[Activation, ...]) -> None:
+    if len(_PUSH_DECODE_CACHE) >= _PUSH_DECODE_CACHE_LIMIT:
+        _PUSH_DECODE_CACHE.pop(next(iter(_PUSH_DECODE_CACHE)))
+    _PUSH_DECODE_CACHE[payload] = (is_batch, activations)
 
 
 class NetSubscription:
@@ -75,6 +102,9 @@ class NetSubscription:
     def _on_activation(self, payload: Any) -> None:
         self._queue.put_nowait(activation_from_wire(payload))
 
+    def _on_decoded(self, activation: Activation) -> None:
+        self._queue.put_nowait(activation)
+
     def _on_paused(self, message: dict) -> None:
         self.paused = True
         self.pause_info = message
@@ -91,10 +121,15 @@ class NetSubscription:
         With a ``timeout``, raises ``asyncio.TimeoutError`` if nothing
         arrives in time (the stream itself stays usable).
         """
-        if timeout is None:
-            item = await self._queue.get()
-        else:
-            item = await asyncio.wait_for(self._queue.get(), timeout)
+        try:
+            # Fast path: during a fan-out storm the queue is rarely empty,
+            # and ``wait_for`` costs a wrapper task + timer per call.
+            item = self._queue.get_nowait()
+        except asyncio.QueueEmpty:
+            if timeout is None:
+                item = await self._queue.get()
+            else:
+                item = await asyncio.wait_for(self._queue.get(), timeout)
         if item is _STREAM_END:
             self._queue.put_nowait(_STREAM_END)  # keep the stream-end latched
             return None
@@ -137,20 +172,50 @@ class NetClient:
         self._closed = False
         #: Populated from the ``welcome`` frame (shard count, durability).
         self.server_info: dict = {}
+        #: Capabilities negotiated with the server (the intersection of what
+        #: both endpoints announced); ``activation_batch`` in here means the
+        #: server may coalesce activations into batch frames.
+        self.caps: frozenset[str] = frozenset()
         #: The connection's subscription, once :meth:`subscribe` succeeded.
         self.subscription: NetSubscription | None = None
+        # Coalesced acks: highest pending position per shard, flushed by a
+        # scheduled task or — to preserve ack-before-request ordering — by
+        # the next outgoing request under the send lock.
+        self._pending_acks: dict[int, int] = {}
+        self._ack_flush_scheduled = False
+        #: Ack frames actually written (after coalescing).
+        self.acks_sent = 0
+        #: Ack positions merged into an already-pending shard entry.
+        self.acks_coalesced = 0
+        #: ``activation_batch`` frames received.
+        self.batches_received = 0
 
     # ------------------------------------------------------------------ lifecycle
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, *, max_frame: int = DEFAULT_MAX_FRAME
+        cls,
+        host: str,
+        port: int,
+        *,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        caps: Iterable[str] | None = None,
     ) -> "NetClient":
-        """Open a connection, run the hello/welcome handshake."""
+        """Open a connection, run the hello/welcome handshake.
+
+        ``caps`` announces capabilities to the server (default: everything
+        this client implementation speaks, currently ``activation_batch``).
+        Pass ``caps=()`` to negotiate none — the server then behaves exactly
+        as toward a pre-capability client, one ``activation`` frame per
+        fired trigger.
+        """
+        announce = sorted(SUPPORTED_CAPS if caps is None else caps)
         reader, writer = await asyncio.open_connection(host, port)
         client = cls(reader, writer, max_frame=max_frame)
         try:
-            await client._send({"type": "hello", "version": PROTOCOL_VERSION})
+            await client._send(
+                {"type": "hello", "version": PROTOCOL_VERSION, "caps": announce}
+            )
             welcome = await read_frame(reader, max_frame=max_frame)
             if welcome["type"] == "error":
                 raise NetworkError(
@@ -168,6 +233,7 @@ class NetClient:
             writer.close()
             raise
         client.server_info = dict(welcome.get("server") or {})
+        client.caps = negotiate_caps(welcome.get("caps")).intersection(announce)
         client._reader_task = asyncio.ensure_future(client._reader_loop())
         return client
 
@@ -175,6 +241,13 @@ class NetClient:
         """Close the connection; pending requests fail with NetworkError."""
         if self._closed:
             return
+        # A consumer that acked its last activations and closed must not
+        # lose those cursor advances to coalescing: flush before teardown.
+        if self._pending_acks:
+            try:
+                await self._flush_acks()
+            except (ConnectionError, OSError, NetworkError):
+                pass
         self._closed = True
         if self._reader_task is not None:
             self._reader_task.cancel()
@@ -199,8 +272,48 @@ class NetClient:
 
     async def _send(self, message: dict) -> None:
         async with self._send_lock:
+            # Pending acks always precede the next request on the wire, so
+            # coalescing can never reorder an ack past a later ping/submit
+            # (the flush barrier semantics durable consumers rely on).
+            self._write_pending_acks()
             self._writer.write(encode_frame(message))
             await self._writer.drain()
+
+    def _write_pending_acks(self) -> None:
+        # Send-lock held by the caller.
+        if not self._pending_acks:
+            return
+        pending, self._pending_acks = self._pending_acks, {}
+        for shard in sorted(pending):
+            self._writer.write(
+                encode_frame({"type": "ack", "shard": shard, "seq": pending[shard]})
+            )
+            self.acks_sent += 1
+
+    async def _flush_acks(self) -> None:
+        async with self._send_lock:
+            self._write_pending_acks()
+            await self._writer.drain()
+
+    async def _flush_acks_quietly(self) -> None:
+        # A broken transport loses nothing: unacked positions are exactly
+        # what a durable resume redelivers (at-least-once).
+        try:
+            await self._flush_acks()
+        except (ConnectionError, OSError):
+            pass
+
+    def _schedule_ack_flush(self) -> None:
+        if self._ack_flush_scheduled or self._closed:
+            return
+        self._ack_flush_scheduled = True
+
+        def spawn() -> None:
+            self._ack_flush_scheduled = False
+            if not self._closed and self._pending_acks:
+                asyncio.ensure_future(self._flush_acks_quietly())
+
+        asyncio.get_running_loop().call_soon(spawn)
 
     async def _request(self, message: dict) -> dict:
         if self._closed:
@@ -219,11 +332,39 @@ class NetClient:
         error: Exception = NetworkError("connection closed by the server")
         try:
             while True:
-                message = await read_frame(self._reader, max_frame=self._max_frame)
+                payload_bytes = await read_frame_payload(
+                    self._reader, max_frame=self._max_frame
+                )
+                cached = _PUSH_DECODE_CACHE.get(payload_bytes)
+                if cached is not None:
+                    is_batch, activations = cached
+                    if is_batch:
+                        self.batches_received += 1
+                    if self.subscription is not None:
+                        for activation in activations:
+                            self.subscription._on_decoded(activation)
+                    continue
+                message = decode_payload(payload_bytes)
                 mtype = message["type"]
                 if mtype == "activation":
+                    activation = activation_from_wire(message.get("payload"))
+                    _remember_push(payload_bytes, False, (activation,))
                     if self.subscription is not None:
-                        self.subscription._on_activation(message.get("payload"))
+                        self.subscription._on_decoded(activation)
+                elif mtype == "activation_batch":
+                    # Strictly validated even when no subscription is live:
+                    # a malformed batch is a protocol error, not a silent
+                    # drop.  One bad record fails the frame exactly like a
+                    # malformed single activation would.
+                    payloads = batch_payloads(message)
+                    self.batches_received += 1
+                    activations = tuple(
+                        activation_from_wire(record) for record in payloads
+                    )
+                    _remember_push(payload_bytes, True, activations)
+                    if self.subscription is not None:
+                        for activation in activations:
+                            self.subscription._on_decoded(activation)
                 elif mtype == "paused":
                     if self.subscription is not None:
                         self.subscription._on_paused(message)
@@ -364,8 +505,24 @@ class NetClient:
         await self.ack_position(activation.shard, activation.sequence)
 
     async def ack_position(self, shard: int, sequence: int) -> None:
-        """Acknowledge by ``(shard, sequence)`` position (fire-and-forget)."""
-        await self._send({"type": "ack", "shard": shard, "seq": sequence})
+        """Acknowledge by ``(shard, sequence)`` position (fire-and-forget).
+
+        Acks **coalesce**: positions accumulate per shard (the cursor is a
+        monotonic high-water mark, so only the highest matters) and flush as
+        one ack frame per shard on the next event-loop turn — or earlier,
+        ahead of any outgoing request.  A consumer draining a burst of
+        activations therefore sends one ack frame per shard, not one per
+        activation; :meth:`close` flushes whatever is still pending.
+        """
+        if self._closed:
+            raise NetworkError("client is closed")
+        if shard in self._pending_acks:
+            self.acks_coalesced += 1
+            if sequence > self._pending_acks[shard]:
+                self._pending_acks[shard] = sequence
+        else:
+            self._pending_acks[shard] = sequence
+        self._schedule_ack_flush()
 
     # ------------------------------------------------------------------ misc
 

@@ -6,39 +6,53 @@
 speak the framed protocol of :mod:`repro.serving.net.protocol`, and get the
 full serving surface — DML submission (single and batch, with ticket-style
 ``result`` replies), trigger DDL including bulk registration, activation
-subscriptions with resumable cursors, and server statistics.  One process
-thread runs a private asyncio event loop; each connection costs a reader
-coroutine and a writer coroutine, not a thread, which is what makes
-connection-scale fan-out (10k+ subscribers) reachable where thread-per-
-subscriber would not be (``benchmarks/bench_net_fanout.py`` drives it).
+subscriptions with resumable cursors, and server statistics.
 
-Bridging the thread world and the loop, backpressured both ways:
+The front end is a **loop group**: ``loops`` asyncio event loops, each on
+its own daemon thread, each owning its connections' reader/writer/
+subscription state outright — no state is shared between loops except the
+:class:`~repro.serving.net.frames.SharedFrameCache` (one activation encode,
+every loop reuses the bytes) and the serving core underneath.  Each
+connection costs a reader coroutine and a writer coroutine, not a thread,
+which is what makes connection-scale fan-out (10k+ subscribers) reachable;
+sharding the loops lets encode+drain work use more than one core
+(``benchmarks/bench_net_fanout.py`` drives the sweep).
+
+Two accept strategies, chosen automatically:
+
+* **SO_REUSEPORT** (default where the platform supports it and
+  ``loops > 1``) — every loop binds its own listener on the same address
+  and the kernel load-balances accepted connections across them; no accept
+  hot spot, no cross-thread hand-off.
+* **accept-and-hand-off** (fallback; force with ``reuse_port=False``) —
+  loop 0 owns the single listener and deals accepted sockets round-robin to
+  the loop group; the target loop adopts the raw socket into its own
+  streams.  Slightly more cross-thread traffic per *accept*, but delivery
+  still runs entirely on the owning loop.
+
+Bridging the thread world and the loops, backpressured both ways (the
+details live in :mod:`repro.serving.net.connection`):
 
 * **DML inbound** — a connection's statements are submitted to the shard
-  queues via worker threads (``asyncio.to_thread``) in arrival order; a full
-  shard queue blocks only that connection's dispatch loop (its own producer
-  backpressure), never the event loop.  Completion comes back through
-  :meth:`~repro.serving.server.Ticket.add_done_callback` +
-  ``loop.call_soon_threadsafe`` — no thread is parked per in-flight
-  statement.
-* **Activations outbound** — each subscription is a :class:`_NetSubscriber`
-  whose ``_offer`` *never blocks the shard worker*: it reserves one slot of
-  the connection's bounded send buffer and hands the activation to the loop
-  with ``call_soon_threadsafe``; the slot is released only after the frame
-  is written *and drained* past the transport's high-water mark, so kernel
-  buffering is bounded too.  When a slow consumer's buffer fills, the
-  subscription **pauses**: the subscriber detaches (shard workers and other
-  connections are unaffected), everything already buffered is flushed, and
-  a ``paused`` frame tells the client — never unbounded growth, never a
-  silent drop.  On a durable server the client resumes by re-subscribing
-  with its name: the persisted ack cursor replays every unacknowledged
-  activation from the durable outbox, so a bounded buffer pages an
-  arbitrarily large backlog through repeated resume rounds.
+  queues via worker threads (``asyncio.to_thread``) in arrival order; a
+  full shard queue blocks only that connection's dispatch loop, never an
+  event loop.
+* **Activations outbound** — each subscription's ``_offer`` never blocks
+  the shard worker: it reserves a slot of the connection's bounded send
+  buffer and hands the activation to the owning loop.  Clients that
+  negotiated the ``activation_batch`` capability get pending activations
+  coalesced into one frame (count budget ``batch_max_count``, byte budget
+  ``batch_max_bytes``, linger deadline ``batch_linger``); slots release
+  only after the frame drains.  A slow consumer still **pauses** exactly as
+  before: detach, flush (pending batch included), terminal ``paused``
+  frame, durable resume via the persisted cursor.
 
-``docs/networking.md`` is the protocol reference;
+``docs/networking.md`` is the protocol reference (the "scaling the front
+end" section covers loop-count and batching tuning);
 ``tests/serving/test_net_protocol_fuzz.py`` pins the no-crash guarantee and
 ``tests/property/test_property_net_equivalence.py`` pins delivery
-equivalence against the in-process subscriber oracle.
+equivalence against the in-process subscriber oracle across loop counts and
+batching modes.
 """
 
 from __future__ import annotations
@@ -46,528 +60,174 @@ from __future__ import annotations
 import asyncio
 import socket
 import threading
-from typing import Any, Callable
 
-from repro.errors import NetworkError, ProtocolError, ServingError
+from repro.errors import NetworkError
 from repro.persist.durable import DurableServer
-from repro.serving.net.protocol import (
-    DEFAULT_MAX_FRAME,
-    PROTOCOL_VERSION,
-    activation_to_wire,
-    encode_frame,
-    read_frame,
-    result_to_wire,
-    statement_from_wire,
-)
-from repro.serving.server import ActiveViewServer, Ticket
-from repro.serving.subscribers import Activation, Subscriber
+from repro.serving.net.connection import _Connection, _WakeHub
+from repro.serving.net.frames import SharedFrameCache
+from repro.serving.net.protocol import DEFAULT_MAX_FRAME
+from repro.serving.server import ActiveViewServer
 
 __all__ = ["NetworkServer"]
 
+#: Listen backlog per listener socket.
+_BACKLOG = 512
 
-class _NetSubscriber(Subscriber):
-    """A subscriber whose delivery hands off to a connection's event loop.
 
-    ``_offer`` runs on the producing shard worker's thread and must never
-    block it (the in-process :class:`Subscriber` blocks on a full queue —
-    correct for one consumer thread, fatal for one slow socket among
-    thousands).  Instead it reserves a slot of the connection's bounded
-    send buffer under a lock and schedules delivery on the loop; when the
-    buffer is full it flips to *paused* and schedules the overflow policy
-    instead.  ``release`` is called by the connection after the frame has
-    been written and drained.
+def _new_counters() -> dict[str, int]:
+    """One loop's wire counters (aggregated by ``NetworkServer.counters``)."""
+    return {
+        "connections_opened": 0,
+        "frames_received": 0,
+        "frames_sent": 0,
+        "bytes_sent": 0,
+        "statements_submitted": 0,
+        "subscriptions_opened": 0,
+        "subscriptions_paused": 0,
+        "activations_sent": 0,
+        "activation_batches_sent": 0,
+        "batched_activations_sent": 0,
+        "shared_encode_hits": 0,
+        "shared_encode_misses": 0,
+        "protocol_errors": 0,
+        "overflow_closes": 0,
+        "handoffs": 0,
+    }
+
+
+class _LoopRuntime:
+    """One event loop of the group: a daemon thread owning its connections.
+
+    All of a runtime's mutable state — its ``connections`` set and its
+    ``counters`` — is touched only from its own loop thread (reads from
+    other threads are reporting-only), so the loops never contend on locks
+    in the delivery path.
     """
 
-    def __init__(
-        self,
-        name: str,
-        *,
-        limit: int,
-        loop: asyncio.AbstractEventLoop,
-        deliver: Callable[[Activation], None],
-        overflow: Callable[[], None],
-        accept: Callable[[Activation], bool] | None = None,
-    ) -> None:
-        super().__init__(name, capacity=max(1, limit))
-        self.limit = limit
-        self._loop = loop
-        self._deliver = deliver
-        self._overflow = overflow
-        self._accept = accept
-        self._flight_lock = threading.Lock()
-        #: Activations handed to the loop whose frames are not yet drained —
-        #: the bounded send buffer (<= ``limit`` by construction; the
-        #: slow-consumer regression test asserts it).
-        self.inflight = 0
-        #: True once the buffer overflowed; no further deliveries happen.
-        self.paused = False
-        #: Activations skipped by the subscription's view/path filter.
-        self.filtered = 0
-        #: Activations refused because the subscription was paused (or its
-        #: connection closed) — redeliverable from a durable outbox, and
-        #: never silently lost: the client was told via the ``paused`` frame.
-        self.refused = 0
-
-    def _offer(self, activation: Activation, give_up: Callable[[], bool]) -> bool:
-        if self._accept is not None and not self._accept(activation):
-            self.filtered += 1
-            return True
-        if self.closed or self.paused:
-            self.refused += 1
-            return False
-        with self._flight_lock:
-            if self.inflight >= self.limit:
-                self.paused = True
-                self.refused += 1
-                self._schedule(self._overflow)
-                return False
-            self.inflight += 1
-        self.delivered += 1
-        self._schedule(self._deliver, activation)
-        return True
-
-    def _schedule(self, fn: Callable, *args: Any) -> None:
-        try:
-            self._loop.call_soon_threadsafe(fn, *args)
-        except RuntimeError:
-            # The loop is gone (server stopped mid-delivery); the slot can
-            # never drain, so stop accepting instead of leaking reservations.
-            self.close()
-
-    def release(self) -> None:
-        """Return one send-buffer slot (frame written and drained)."""
-        with self._flight_lock:
-            self.inflight -= 1
-
-
-def _subscription_filter(
-    view: str | None, path: list | None
-) -> Callable[[Activation], bool] | None:
-    """Build the optional view/path acceptance predicate for SUBSCRIBE."""
-    if view is None and path is None:
-        return None
-    prefix = tuple(path) if path is not None else None
-
-    def accept(activation: Activation) -> bool:
-        if view is not None and activation.view != view:
-            return False
-        if prefix is not None and activation.path[: len(prefix)] != prefix:
-            return False
-        return True
-
-    return accept
-
-
-class _SubmitAggregator:
-    """Collects one submit request's tickets and replies once all resolve.
-
-    Done-callbacks run on shard worker threads; the last one hands the
-    fully-resolved set back to the connection's loop.  No thread blocks
-    waiting — the resolution *is* the notification.
-    """
-
-    def __init__(self, connection: "_Connection", msg_id: int, tickets: list[Ticket]):
-        self._connection = connection
-        self._msg_id = msg_id
-        self._tickets = tickets
-        self._lock = threading.Lock()
-        self._remaining = len(tickets)
-        for ticket in tickets:
-            ticket.add_done_callback(self._one_done)
-
-    def _one_done(self, _ticket: Ticket) -> None:
-        with self._lock:
-            self._remaining -= 1
-            if self._remaining:
-                return
-        self._connection.schedule(self._reply)
-
-    def _reply(self) -> None:  # loop thread
-        results: list[list[dict]] = []
-        for ticket in self._tickets:
-            try:
-                outcome = ticket.result(timeout=0)
-            except Exception as error:  # noqa: BLE001 - forwarded to the client
-                self._connection.send_error(self._msg_id, "execution", str(error))
-                return
-            parts = outcome if isinstance(outcome, list) else [outcome]
-            results.append([result_to_wire(part) for part in parts])
-        self._connection.send(
-            {"type": "result", "id": self._msg_id, "results": results}
-        )
-
-
-class _Connection:
-    """One client connection: framed reader loop + serialized writer loop."""
-
-    def __init__(
-        self,
-        server: "NetworkServer",
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-    ) -> None:
+    def __init__(self, server: "NetworkServer", index: int) -> None:
         self.server = server
-        self.reader = reader
-        self.writer = writer
-        # Bounded: activations respect the subscriber's inflight cap, and a
-        # well-behaved client has at most a handful of replies outstanding.
-        # Overflow means the peer pipelines requests without reading replies
-        # — the connection is cut rather than buffering without limit.
-        self._out: asyncio.Queue = asyncio.Queue(
-            maxsize=server.send_buffer + 64
-        )
-        self._writer_task: asyncio.Task | None = None
-        self.subscriber: _NetSubscriber | None = None
-        self._sent_watermark: dict[int, int] = {}
-        self._loop = asyncio.get_running_loop()
-
-    # ------------------------------------------------------------------ sending
-
-    def send(
-        self, message: dict | bytes, after: Callable[[], None] | None = None
-    ) -> None:
-        """Queue a frame (loop thread only); ``after`` runs once it drained.
-
-        ``message`` is a message dict, or pre-encoded frame bytes (the
-        shared-fan-out path).
-        """
-        try:
-            self._out.put_nowait((message, after))
-        except asyncio.QueueFull:
-            self.server.counters["overflow_closes"] += 1
-            if after is not None:
-                after()
-            try:
-                self.writer.close()
-            except (ConnectionError, OSError):  # pragma: no cover - defensive
-                pass
-
-    def send_error(self, msg_id: int | None, code: str, message: str) -> None:
-        self.send({"type": "error", "id": msg_id, "code": code, "message": message})
-
-    def schedule(self, fn: Callable, *args: Any) -> None:
-        """Run ``fn(*args)`` on the loop from any thread (no-op if loop died)."""
-        try:
-            self._loop.call_soon_threadsafe(fn, *args)
-        except RuntimeError:
-            pass
-
-    async def _writer_loop(self) -> None:
-        while True:
-            item = await self._out.get()
-            if item is None:
-                return
-            message, after = item
-            try:
-                self.writer.write(
-                    message if isinstance(message, bytes) else encode_frame(message)
-                )
-                await self.writer.drain()
-                self.server.counters["frames_sent"] += 1
-            except (ConnectionError, OSError):
-                # Peer went away mid-write: stop writing, let the reader
-                # loop observe the broken transport and run the cleanup.
-                return
-            finally:
-                if after is not None:
-                    after()
+        self.index = index
+        self.listen_sock: socket.socket | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        #: Set together with ``loop``; coalesces producer wakeups targeting
+        #: this loop into one ``call_soon_threadsafe`` per burst.
+        self.wake_hub: _WakeHub | None = None
+        self.thread: threading.Thread | None = None
+        self.connections: set[_Connection] = set()
+        self.counters = _new_counters()
+        self._started = threading.Event()
+        self._shutdown: asyncio.Event | None = None
+        self._accept_task: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------ lifecycle
 
-    async def run(self) -> None:
-        self.server.counters["connections_opened"] += 1
-        if self.server.write_buffer_limit is not None:
-            # A small high-water mark — transport *and* kernel send buffer —
-            # makes ``drain()`` (and therefore the inflight accounting)
-            # track the consumer's real pace instead of buffering depth;
-            # tests pin the pause policy with this.
-            limit = self.server.write_buffer_limit
-            self.writer.transport.set_write_buffer_limits(high=limit)
-            raw = self.writer.get_extra_info("socket")
-            if raw is not None:
-                raw.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, limit)
-        self._writer_task = asyncio.ensure_future(self._writer_loop())
+    def start(self) -> None:
+        self.thread = threading.Thread(
+            target=self._run, name=f"net-loop-{self.index}", daemon=True
+        )
+        self.thread.start()
+        if not self._started.wait(timeout=30):
+            raise NetworkError(
+                f"network loop {self.index} failed to start within 30s"
+            )
+
+    def request_stop(self) -> None:
+        loop = self.loop
+        if loop is None:
+            return
         try:
-            await self._handshake()
-            while True:
-                try:
-                    message = await read_frame(
-                        self.reader, max_frame=self.server.max_frame
-                    )
-                except (asyncio.IncompleteReadError, ConnectionError, OSError):
-                    break  # closed (possibly mid-frame) — a clean goodbye
-                self.server.counters["frames_received"] += 1
-                await self._dispatch(message)
-        except ProtocolError as error:
-            self.server.counters["protocol_errors"] += 1
-            self.send_error(None, "protocol", str(error))
-        except (ConnectionError, OSError):
+            loop.call_soon_threadsafe(self._signal_shutdown)
+        except RuntimeError:
             pass
+
+    def _signal_shutdown(self) -> None:  # loop thread
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self.wake_hub = _WakeHub(loop)
+        self.loop = loop
+        try:
+            loop.run_until_complete(self._serve())
         finally:
-            await self._cleanup()
+            asyncio.set_event_loop(None)
+            loop.close()
 
-    async def _handshake(self) -> None:
+    async def _serve(self) -> None:
+        self._shutdown = asyncio.Event()
+        if self.listen_sock is not None:
+            self._accept_task = asyncio.ensure_future(self._accept_loop())
+        self._started.set()
         try:
-            hello = await read_frame(self.reader, max_frame=self.server.max_frame)
-        except (asyncio.IncompleteReadError, ConnectionError, OSError):
-            raise ProtocolError("connection closed before the hello frame")
-        if hello["type"] != "hello":
-            raise ProtocolError(f"expected a hello frame, got {hello['type']!r}")
-        if hello.get("version") != PROTOCOL_VERSION:
-            raise ProtocolError(
-                f"protocol version mismatch: client {hello.get('version')!r}, "
-                f"server {PROTOCOL_VERSION}"
-            )
-        self.send(
-            {
-                "type": "welcome",
-                "version": PROTOCOL_VERSION,
-                "server": {
-                    "shards": self.server.core.shard_count,
-                    "durable": self.server.durable is not None,
-                },
-            }
-        )
+            await self._shutdown.wait()
+        finally:
+            if self._accept_task is not None:
+                self._accept_task.cancel()
+                try:
+                    await self._accept_task
+                except (asyncio.CancelledError, OSError):
+                    pass
+            if self.listen_sock is not None:
+                self.listen_sock.close()
+            for connection in list(self.connections):
+                try:
+                    connection.writer.close()
+                except (ConnectionError, OSError):  # pragma: no cover - defensive
+                    pass
+            # Reader loops observe their closed transports and clean up
+            # (detaching subscribers); give them a beat to finish.
+            for _ in range(100):
+                if not self.connections:
+                    break
+                await asyncio.sleep(0.02)
 
-    async def _cleanup(self) -> None:
-        self._detach_subscriber()
-        # Flush what is already queued (bounded by the send buffer), then
-        # close the transport.  A dead peer just errors the writer loop out.
-        try:
-            self._out.put_nowait(None)
-        except asyncio.QueueFull:
-            if self._writer_task is not None:
-                self._writer_task.cancel()
-        if self._writer_task is not None:
+    # ------------------------------------------------------------------ accepting
+
+    async def _accept_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        assert self.listen_sock is not None
+        while True:
             try:
-                await asyncio.wait_for(self._writer_task, timeout=5)
-            except (asyncio.TimeoutError, asyncio.CancelledError):
-                self._writer_task.cancel()
-        try:
-            self.writer.close()
-            await self.writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
-        self.server._connections.discard(self)
-
-    def _detach_subscriber(self) -> None:
-        if self.subscriber is not None:
-            self.server.core.unsubscribe(self.subscriber)
-
-    # ------------------------------------------------------------------ dispatch
-
-    async def _dispatch(self, message: dict) -> None:
-        mtype = message["type"]
-        if mtype == "submit":
-            await self._handle_submit(message)
-        elif mtype == "ddl":
-            await self._handle_ddl(message)
-        elif mtype == "subscribe":
-            await self._handle_subscribe(message)
-        elif mtype == "ack":
-            self._handle_ack(message)
-        elif mtype == "stats":
-            self._handle_stats(message)
-        elif mtype == "ping":
-            self.send({"type": "pong", "id": self._request_id(message)})
-        else:
-            raise ProtocolError(f"unknown message type {mtype!r}")
-
-    @staticmethod
-    def _request_id(message: dict) -> int:
-        msg_id = message.get("id")
-        if not isinstance(msg_id, int):
-            raise ProtocolError(f"{message['type']!r} message needs an integer 'id'")
-        return msg_id
-
-    async def _handle_submit(self, message: dict) -> None:
-        msg_id = self._request_id(message)
-        wire_statements = message.get("statements")
-        if not isinstance(wire_statements, list) or not wire_statements:
-            self.send_error(msg_id, "bad-statement",
-                            "'statements' must be a non-empty list")
-            return
-        try:
-            statements = [statement_from_wire(record) for record in wire_statements]
-        except ProtocolError as error:
-            self.send_error(msg_id, "bad-statement", str(error))
-            return
-        tickets: list[Ticket] = []
-        try:
-            # Submitted in arrival order from worker threads: a full shard
-            # queue blocks this connection's dispatch (its backpressure),
-            # never the shared event loop.
-            for statement in statements:
-                tickets.append(
-                    await asyncio.to_thread(self.server.core.submit, statement)
-                )
-        except ServingError as error:
-            # Statements already queued will resolve through the aggregator
-            # path on a later submit; the client sees this request fail.
-            self.send_error(msg_id, "state", str(error))
-            return
-        except Exception as error:  # noqa: BLE001 - routing errors etc.
-            self.send_error(msg_id, "execution", str(error))
-            return
-        self.server.counters["statements_submitted"] += len(statements)
-        _SubmitAggregator(self, msg_id, tickets)
-
-    async def _handle_ddl(self, message: dict) -> None:
-        msg_id = self._request_id(message)
-        op = message.get("op")
-        core = self.server.core
-        try:
-            if op == "create_trigger":
-                source = message.get("source")
-                if not isinstance(source, str):
-                    raise ProtocolError("create_trigger needs a 'source' string")
-                spec = await asyncio.to_thread(core.create_trigger, source)
-                names = [spec.name]
-            elif op == "register_triggers_bulk":
-                sources = message.get("sources")
-                if (not isinstance(sources, list)
-                        or not all(isinstance(s, str) for s in sources)):
-                    raise ProtocolError(
-                        "register_triggers_bulk needs a 'sources' string list"
-                    )
-                specs = await asyncio.to_thread(core.register_triggers_bulk, sources)
-                names = [spec.name for spec in specs]
-            elif op in ("drop_trigger", "drop_view"):
-                name = message.get("name")
-                if not isinstance(name, str):
-                    raise ProtocolError(f"{op} needs a 'name' string")
-                target = core.drop_trigger if op == "drop_trigger" else core.drop_view
-                await asyncio.to_thread(target, name)
-                names = [name]
+                conn, _addr = await loop.sock_accept(self.listen_sock)
+            except asyncio.CancelledError:
+                raise
+            except OSError:
+                return
+            target = self.server._route_connection(self)
+            if target is self:
+                self._spawn(conn)
             else:
-                raise ProtocolError(f"unknown ddl op {op!r}")
-        except ProtocolError as error:
-            self.send_error(msg_id, "bad-statement", str(error))
-            return
-        except Exception as error:  # noqa: BLE001 - trigger/translation errors
-            self.send_error(msg_id, "execution", str(error))
-            return
-        self.send({"type": "ddl_ok", "id": msg_id, "names": names})
+                self.counters["handoffs"] += 1
+                target.adopt(conn)
 
-    async def _handle_subscribe(self, message: dict) -> None:
-        msg_id = self._request_id(message)
-        if self.subscriber is not None and not self.subscriber.paused \
-                and not self.subscriber.closed:
-            self.send_error(msg_id, "state",
-                            "this connection already has an active subscription")
+    def adopt(self, conn: socket.socket) -> None:
+        """Take ownership of an accepted socket (called from another loop)."""
+        loop = self.loop
+        if loop is None:
+            conn.close()
             return
-        name = message.get("name")
-        view = message.get("view")
-        path = message.get("path")
-        cursor = message.get("cursor")
-        if name is not None and not isinstance(name, str):
-            self.send_error(msg_id, "bad-statement", "'name' must be a string or None")
-            return
-        if path is not None and not isinstance(path, (list, tuple)):
-            self.send_error(msg_id, "bad-statement", "'path' must be a step list")
-            return
-        durable = self.server.durable
-        resumable = durable is not None and name is not None
-        if cursor is not None and not resumable:
-            # Cursors need the durable outbox AND a stable name; refusing is
-            # the no-silent-fallback contract — an ignored cursor would turn
-            # at-least-once into silently-lossy.
-            self.send_error(
-                msg_id, "unsupported",
-                "cursors require a durable server and a named subscription",
-            )
-            return
-        limit = self.server.send_buffer
-        subscriber = _NetSubscriber(
-            name or f"net-anon-{id(self)}",
-            limit=limit,
-            loop=self._loop,
-            deliver=self._deliver_activation,
-            overflow=self._pause_subscription,
-            accept=_subscription_filter(view, path),
-        )
-        self.subscriber = subscriber
-        self._sent_watermark = {}
         try:
-            if resumable:
-                def attach() -> None:
-                    if cursor is not None:
-                        for shard, sequence in cursor.items():
-                            durable._on_ack(name, int(shard), int(sequence))
-                    durable.subscribe(name, subscriber=subscriber)
+            loop.call_soon_threadsafe(self._spawn, conn)
+        except RuntimeError:
+            conn.close()
 
-                await asyncio.to_thread(attach)
-            else:
-                self.server.core.attach_subscriber(subscriber)
-        except Exception as error:  # noqa: BLE001 - persistence/serving errors
-            self.subscriber = None
-            self.send_error(msg_id, "execution", str(error))
+    def _spawn(self, conn: socket.socket) -> None:  # loop thread
+        task = asyncio.ensure_future(self._run_connection(conn))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _run_connection(self, conn: socket.socket) -> None:
+        try:
+            reader, writer = await asyncio.open_connection(sock=conn)
+        except OSError:
+            conn.close()
             return
-        self.server.counters["subscriptions_opened"] += 1
-        self.send(
-            {
-                "type": "subscribed",
-                "id": msg_id,
-                "name": subscriber.name,
-                "durable": resumable,
-            }
-        )
-
-    def _handle_ack(self, message: dict) -> None:
-        shard = message.get("shard")
-        sequence = message.get("seq")
-        if not isinstance(shard, int) or not isinstance(sequence, int):
-            raise ProtocolError("ack needs integer 'shard' and 'seq'")
-        if self.subscriber is None:
-            raise ProtocolError("ack without a subscription")
-        # Valid after a pause too: acking what arrived before the pause is
-        # exactly what advances the durable cursor for the resume.
-        self.subscriber.ack_position(shard, sequence)
-
-    def _handle_stats(self, message: dict) -> None:
-        msg_id = self._request_id(message)
-        core = self.server.core
-        self.send(
-            {
-                "type": "stats_reply",
-                "id": msg_id,
-                "evaluation": {
-                    str(k): int(v) for k, v in core.evaluation_report().items()
-                },
-                "shards": [stats.as_dict() for stats in core.stats],
-                "activations_published": core.activations_published,
-                "net": self.server.net_report(),
-            }
-        )
-
-    # ------------------------------------------------------------------ fan-out
-
-    def _deliver_activation(self, activation: Activation) -> None:  # loop thread
-        subscriber = self.subscriber
-        release = subscriber.release if subscriber is not None else None
-        watermark = self._sent_watermark
-        if activation.sequence > watermark.get(activation.shard, 0):
-            watermark[activation.shard] = activation.sequence
-        self.server.counters["activations_sent"] += 1
-        # Pre-framed once per activation, shared by every subscribed
-        # connection — at fan-out scale the encode would otherwise dominate.
-        self.send(self.server._activation_frame(activation), after=release)
-
-    def _pause_subscription(self) -> None:  # loop thread
-        subscriber = self.subscriber
-        if subscriber is None:
-            return
-        self.server.counters["subscriptions_paused"] += 1
-        # Detach first so shard workers stop offering; everything already
-        # buffered still flushes (FIFO), then the pause notice arrives.
-        self._detach_subscriber()
-        self.send(
-            {
-                "type": "paused",
-                "reason": "slow-consumer",
-                "sent": {shard: seq for shard, seq in self._sent_watermark.items()},
-            }
-        )
+        connection = _Connection(self, reader, writer)
+        self.connections.add(connection)
+        await connection.run()
 
 
 class NetworkServer:
@@ -583,18 +243,46 @@ class NetworkServer:
     host, port:
         Bind address.  ``port=0`` (default) picks an ephemeral port; read
         :attr:`address` after :meth:`start`.
+    loops:
+        Event loops in the acceptor group, one daemon thread each.  ``1``
+        (default) reproduces the single-loop front end exactly.
+    reuse_port:
+        ``None`` (default) uses SO_REUSEPORT listeners when ``loops > 1``
+        and the platform supports the option, falling back to the
+        accept-and-hand-off strategy otherwise; ``False`` forces the
+        hand-off fallback (deterministic round-robin placement — tests use
+        this).
     max_frame:
-        Per-frame payload cap, enforced before any payload is read.
+        Per-frame payload cap, enforced before any payload is read —
+        configurable on both endpoints (the client's cap is what bounds a
+        batched frame it is willing to decode).
     send_buffer:
         Per-subscription bound on activations buffered toward one client
         (frames handed to the loop but not yet drained).  Crossing it
         pauses the subscription — see the module docstring's slow-consumer
         policy.
+    batching, batch_max_count, batch_max_bytes, batch_linger:
+        Activation frame batching for clients that negotiated the
+        ``activation_batch`` capability: a hot subscription's pending
+        activations coalesce into one frame, flushed when ``batch_max_count``
+        activations or ``batch_max_bytes`` encoded bytes accumulate, or
+        ``batch_linger`` seconds after the first pending activation —
+        whichever comes first.  ``batching=False`` disables the capability
+        server-wide (every client gets single frames).
+    batch_eager_flush:
+        Flush the pending batch as soon as a delivery run (the burst of
+        activations handed to the connection in one loop wakeup) ends —
+        the default, pairing burst-sized batches with zero added latency.
+        ``False`` holds the batch for the full linger/count/byte budgets
+        instead: slightly better coalescing for workloads that trickle
+        activations just under the linger apart, at the linger's latency
+        cost.
 
-    The server owns one daemon thread running a private asyncio loop; every
-    public method is callable from ordinary threads.  Lifecycle composes
-    with the serving stack's: start the inner server first, stop the
-    network front end first (``with`` blocks nest naturally).
+    The server owns ``loops`` daemon threads, each running a private
+    asyncio loop; every public method is callable from ordinary threads.
+    Lifecycle composes with the serving stack's: start the inner server
+    first, stop the network front end first (``with`` blocks nest
+    naturally).
     """
 
     def __init__(
@@ -603,9 +291,16 @@ class NetworkServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        loops: int = 1,
+        reuse_port: bool | None = None,
         max_frame: int = DEFAULT_MAX_FRAME,
         send_buffer: int = 256,
         write_buffer_limit: int | None = None,
+        batching: bool = True,
+        batch_max_count: int = 128,
+        batch_max_bytes: int = 256 * 1024,
+        batch_linger: float = 0.002,
+        batch_eager_flush: bool = True,
     ) -> None:
         if isinstance(server, DurableServer):
             self.durable: DurableServer | None = server
@@ -615,71 +310,91 @@ class NetworkServer:
             self.core = server
         if send_buffer < 1:
             raise NetworkError("send_buffer must be at least 1")
+        if loops < 1:
+            raise NetworkError("loops must be at least 1")
+        if batch_max_count < 1:
+            raise NetworkError("batch_max_count must be at least 1")
+        if batch_max_bytes < 1:
+            raise NetworkError("batch_max_bytes must be at least 1")
+        if batch_linger < 0:
+            raise NetworkError("batch_linger must be >= 0")
         self.host = host
         self.port = port
+        self.loops = loops
+        self.reuse_port = reuse_port
         self.max_frame = max_frame
         self.send_buffer = send_buffer
         #: Optional transport high-water mark (bytes).  ``drain()`` then
         #: waits for the actual socket instead of a large default buffer,
         #: which makes slow-consumer detection prompt; tests set it low.
         self.write_buffer_limit = write_buffer_limit
+        self.batching = batching
+        self.batch_max_count = batch_max_count
+        # The byte budget must leave headroom under max_frame: a flush can
+        # not produce a frame the peer's read limit would reject.
+        self.batch_max_bytes = min(batch_max_bytes, max(1, max_frame // 2))
+        self.batch_linger = batch_linger
+        self.batch_eager_flush = batch_eager_flush
         #: ``(host, port)`` actually bound (set by :meth:`start`).
         self.address: tuple[str, int] | None = None
-        self.counters: dict[str, int] = {
-            "connections_opened": 0,
-            "frames_received": 0,
-            "frames_sent": 0,
-            "statements_submitted": 0,
-            "subscriptions_opened": 0,
-            "subscriptions_paused": 0,
-            "activations_sent": 0,
-            "protocol_errors": 0,
-            "overflow_closes": 0,
-        }
-        self._connections: set[_Connection] = set()
-        # (loop thread only) activation -> pre-encoded frame, FIFO-bounded.
-        # Keeping the activation in the value pins its id while cached.
-        self._frame_cache: dict[int, tuple[Activation, bytes]] = {}
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._thread: threading.Thread | None = None
-        self._started = threading.Event()
-        self._startup_error: BaseException | None = None
-        self._shutdown: asyncio.Event | None = None
+        #: One encode per activation (or batch shape), shared by every loop.
+        self.frame_cache = SharedFrameCache()
+        self._runtimes: list[_LoopRuntime] = []
+        self._counter_base = _new_counters()
+        self._reuse_port_active = False
+        self._next_handoff = 0
 
     # ------------------------------------------------------------------ lifecycle
 
     def start(self) -> "NetworkServer":
-        """Bind the socket and start serving; returns ``self`` for chaining."""
-        if self._thread is not None:
+        """Bind the listener(s) and start serving; returns ``self``."""
+        if self._runtimes:
             return self
-        self._started.clear()
-        self._startup_error = None
-        self._thread = threading.Thread(
-            target=self._run_loop, name="net-server-loop", daemon=True
-        )
-        self._thread.start()
-        if not self._started.wait(timeout=30):
-            raise NetworkError("network server failed to start within 30s")
-        if self._startup_error is not None:
-            self._thread.join()
-            self._thread = None
+        want_reuse = self.loops > 1 and self.reuse_port is not False
+        use_reuse = want_reuse and hasattr(socket, "SO_REUSEPORT")
+        listeners: list[socket.socket] = []
+        try:
+            first = self._make_listener(self.port, reuse_port=use_reuse)
+            listeners.append(first)
+            if use_reuse:
+                bound_port = first.getsockname()[1]
+                for _ in range(self.loops - 1):
+                    listeners.append(
+                        self._make_listener(bound_port, reuse_port=True)
+                    )
+        except OSError as error:
+            for sock in listeners:
+                sock.close()
             raise NetworkError(
-                f"network server failed to bind: {self._startup_error}"
-            ) from self._startup_error
+                f"network server failed to bind: {error}"
+            ) from error
+        sockname = first.getsockname()
+        self.address = (sockname[0], sockname[1])
+        self._reuse_port_active = use_reuse
+        self._next_handoff = 0
+        self._runtimes = [_LoopRuntime(self, index) for index in range(self.loops)]
+        for index, runtime in enumerate(self._runtimes):
+            runtime.listen_sock = listeners[index] if index < len(listeners) else None
+        try:
+            for runtime in self._runtimes:
+                runtime.start()
+        except BaseException:
+            self.stop()
+            raise
         return self
 
     def stop(self) -> None:
-        """Close the listener and every connection; join the loop thread."""
-        thread, loop = self._thread, self._loop
-        if thread is None or loop is None:
+        """Close every listener and connection; join the loop threads."""
+        runtimes, self._runtimes = self._runtimes, []
+        if not runtimes:
             return
-        try:
-            loop.call_soon_threadsafe(self._request_shutdown)
-        except RuntimeError:
-            pass
-        thread.join(timeout=30)
-        self._thread = None
-        self._loop = None
+        for runtime in runtimes:
+            runtime.request_stop()
+        for runtime in runtimes:
+            if runtime.thread is not None:
+                runtime.thread.join(timeout=30)
+            for key, value in runtime.counters.items():
+                self._counter_base[key] = self._counter_base.get(key, 0) + value
         self.address = None
 
     def __enter__(self) -> "NetworkServer":
@@ -688,106 +403,96 @@ class NetworkServer:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
 
-    def _request_shutdown(self) -> None:  # loop thread
-        if self._shutdown is not None:
-            self._shutdown.set()
-
-    def _run_loop(self) -> None:
-        loop = asyncio.new_event_loop()
-        asyncio.set_event_loop(loop)
-        self._loop = loop
+    def _make_listener(self, port: int, *, reuse_port: bool) -> socket.socket:
+        family = socket.AF_INET6 if ":" in self.host else socket.AF_INET
+        sock = socket.socket(family, socket.SOCK_STREAM)
         try:
-            loop.run_until_complete(self._serve())
-        finally:
-            asyncio.set_event_loop(None)
-            loop.close()
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if reuse_port:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((self.host, port))
+            sock.listen(_BACKLOG)
+            sock.setblocking(False)
+        except OSError:
+            sock.close()
+            raise
+        return sock
 
-    async def _serve(self) -> None:
-        self._shutdown = asyncio.Event()
-        try:
-            listener = await asyncio.start_server(
-                self._on_connection, self.host, self.port
-            )
-        except OSError as error:
-            self._startup_error = error
-            self._started.set()
-            return
-        sockname = listener.sockets[0].getsockname()
-        self.address = (sockname[0], sockname[1])
-        self._started.set()
-        try:
-            await self._shutdown.wait()
-        finally:
-            listener.close()
-            await listener.wait_closed()
-            for connection in list(self._connections):
-                try:
-                    connection.writer.close()
-                except (ConnectionError, OSError):  # pragma: no cover - defensive
-                    pass
-            # Reader loops observe their closed transports and clean up
-            # (detaching subscribers); give them a beat to finish.
-            for _ in range(100):
-                if not self._connections:
-                    break
-                await asyncio.sleep(0.02)
+    def _route_connection(self, acceptor: _LoopRuntime) -> _LoopRuntime:
+        """Pick the owning loop for a freshly accepted connection.
 
-    async def _on_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        connection = _Connection(self, reader, writer)
-        self._connections.add(connection)
-        await connection.run()
-
-    def _activation_frame(self, activation: Activation) -> bytes:
-        """Encode an activation frame once and share it across connections.
-
-        Loop thread only.  One activation object fans out to every
-        subscribed connection; framing it per connection would make encode
-        cost scale with subscriber count.
+        With SO_REUSEPORT the kernel already balanced the accept onto
+        ``acceptor``; with the hand-off fallback, the single acceptor deals
+        round-robin across the group.  Called only from the acceptor's own
+        loop thread, so the rotation needs no lock.
         """
-        cached = self._frame_cache.get(id(activation))
-        if cached is not None and cached[0] is activation:
-            return cached[1]
-        frame = encode_frame(
-            {"type": "activation", "payload": activation_to_wire(activation)}
-        )
-        self._frame_cache[id(activation)] = (activation, frame)
-        while len(self._frame_cache) > 1024:
-            self._frame_cache.pop(next(iter(self._frame_cache)))
-        return frame
+        if self._reuse_port_active or self.loops == 1:
+            return acceptor
+        target = self._runtimes[self._next_handoff % len(self._runtimes)]
+        self._next_handoff += 1
+        return target
 
     # ------------------------------------------------------------------ reporting
 
     @property
+    def counters(self) -> dict[str, int]:
+        """Aggregate wire counters across the loop group (plus past runs)."""
+        total = dict(self._counter_base)
+        for runtime in self._runtimes:
+            for key, value in runtime.counters.items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+    @property
     def connection_count(self) -> int:
-        """Currently open connections."""
-        return len(self._connections)
+        """Currently open connections across all loops."""
+        return sum(len(runtime.connections) for runtime in self._runtimes)
 
     def net_report(self) -> dict:
-        """Wire-encodable counters + per-subscription buffer accounting."""
+        """Wire-encodable counters + per-loop and per-subscription detail."""
+        per_loop = []
         subscriptions = []
-        for connection in list(self._connections):
-            subscriber = connection.subscriber
-            if subscriber is None:
-                continue
-            subscriptions.append(
+        for runtime in self._runtimes:
+            loop_subscriptions = 0
+            for connection in list(runtime.connections):
+                subscriber = connection.subscriber
+                if subscriber is None:
+                    continue
+                loop_subscriptions += 1
+                subscriptions.append(
+                    {
+                        "loop": runtime.index,
+                        "name": subscriber.name,
+                        "buffered": subscriber.inflight,
+                        "limit": subscriber.limit,
+                        "paused": subscriber.paused,
+                        "delivered": subscriber.delivered,
+                        "refused": subscriber.refused,
+                        "filtered": subscriber.filtered,
+                    }
+                )
+            hub = runtime.wake_hub
+            per_loop.append(
                 {
-                    "name": subscriber.name,
-                    "buffered": subscriber.inflight,
-                    "limit": subscriber.limit,
-                    "paused": subscriber.paused,
-                    "delivered": subscriber.delivered,
-                    "refused": subscriber.refused,
-                    "filtered": subscriber.filtered,
+                    "loop": runtime.index,
+                    "connections": len(runtime.connections),
+                    "subscriptions": loop_subscriptions,
+                    "wake_posts": hub.posts if hub is not None else 0,
+                    "wake_wakeups": hub.wakeups if hub is not None else 0,
+                    **dict(runtime.counters),
                 }
             )
         return {
             **self.counters,
-            "connections_active": len(self._connections),
+            "connections_active": self.connection_count,
+            "loops": self.loops,
+            "reuse_port": self._reuse_port_active,
+            "per_loop": per_loop,
             "subscriptions": subscriptions,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "running" if self._thread is not None else "stopped"
-        return f"NetworkServer({state}, address={self.address})"
+        state = "running" if self._runtimes else "stopped"
+        return (
+            f"NetworkServer({state}, address={self.address}, loops={self.loops})"
+        )

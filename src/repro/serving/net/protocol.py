@@ -58,17 +58,26 @@ __all__ = [
     "PROTOCOL_VERSION",
     "DEFAULT_MAX_FRAME",
     "HEADER",
+    "CAP_ACTIVATION_BATCH",
+    "SUPPORTED_CAPS",
+    "MAX_BATCH_ACTIVATIONS",
+    "negotiate_caps",
     "encode_frame",
     "read_frame",
+    "read_frame_payload",
+    "decode_payload",
     "statement_to_wire",
     "statement_from_wire",
     "result_to_wire",
     "activation_to_wire",
     "activation_from_wire",
+    "batch_payloads",
 ]
 
 #: Bumped on any frame- or message-level incompatibility; the ``hello`` /
-#: ``welcome`` handshake rejects mismatched peers explicitly.
+#: ``welcome`` handshake rejects mismatched peers explicitly.  Capabilities
+#: (below) extend the protocol *within* a version: a peer that does not
+#: announce a capability simply never receives its frames.
 PROTOCOL_VERSION = 1
 
 #: Default cap on one frame's payload (bytes).  Large enough for a bulk
@@ -78,6 +87,37 @@ DEFAULT_MAX_FRAME = 8 * 1024 * 1024
 
 #: ``(length, crc32)`` — the same header the WAL's record frames use.
 HEADER = struct.Struct(">II")
+
+#: Capability: the client understands ``activation_batch`` frames (several
+#: activations coalesced into one length+CRC frame).  A client that does not
+#: announce it keeps receiving one ``activation`` frame per activation — the
+#: upgrade is opt-in per connection, never a silent behavior change.
+CAP_ACTIVATION_BATCH = "activation_batch"
+
+#: Every capability this endpoint implementation knows how to speak.
+SUPPORTED_CAPS = frozenset({CAP_ACTIVATION_BATCH})
+
+#: Hard cap on activations in one ``activation_batch`` frame.  The byte
+#: budget usually flushes far earlier; this bounds what a hostile or buggy
+#: peer can make the decoder materialize from a single frame.
+MAX_BATCH_ACTIVATIONS = 4096
+
+
+def negotiate_caps(announced: Any) -> frozenset[str]:
+    """Validate a ``hello``/``welcome`` ``caps`` field and intersect it.
+
+    ``None`` (field absent — an old peer) negotiates no capabilities.
+    Unknown capability names are ignored, not rejected: a newer peer may
+    announce things we do not speak, and the intersection is the contract.
+    Anything that is not a list of strings is a :class:`ProtocolError`.
+    """
+    if announced is None:
+        return frozenset()
+    if not isinstance(announced, (list, tuple)) or not all(
+        isinstance(cap, str) for cap in announced
+    ):
+        raise ProtocolError("'caps' must be a list of capability name strings")
+    return SUPPORTED_CAPS.intersection(announced)
 
 
 # ------------------------------------------------------------------ framing
@@ -91,16 +131,16 @@ def encode_frame(message: Mapping[str, Any]) -> bytes:
     return HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-async def read_frame(
+async def read_frame_payload(
     reader: asyncio.StreamReader, *, max_frame: int = DEFAULT_MAX_FRAME
-) -> dict:
-    """Read and validate one frame; returns the decoded message dict.
+) -> bytes:
+    """Read one frame and return its CRC-verified payload bytes.
 
-    Raises :class:`~repro.errors.ProtocolError` for every in-protocol
-    malformation (bad length, CRC mismatch, undecodable or non-message
-    payload) and lets ``asyncio.IncompleteReadError`` / connection errors
-    propagate for torn transports — the caller decides whether a torn tail
-    is an error (mid-conversation) or a normal close (between frames).
+    Raises :class:`~repro.errors.ProtocolError` for bad lengths and CRC
+    mismatches and lets ``asyncio.IncompleteReadError`` / connection errors
+    propagate for torn transports.  Callers that want to memoize decoding
+    of identical frames (fan-out consumers) key on the returned bytes;
+    everyone else goes through :func:`read_frame`.
     """
     header = await reader.readexactly(HEADER.size)
     length, crc = HEADER.unpack(header)
@@ -113,6 +153,11 @@ async def read_frame(
     payload = await reader.readexactly(length)
     if zlib.crc32(payload) != crc:
         raise ProtocolError("frame CRC mismatch (corrupt or torn payload)")
+    return payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Decode a CRC-verified frame payload into its message dict."""
     try:
         message = decode_value(payload)
     except Exception as error:  # codec raises PersistenceError subclasses
@@ -120,6 +165,20 @@ async def read_frame(
     if not isinstance(message, dict) or not isinstance(message.get("type"), str):
         raise ProtocolError("frame payload is not a message dict with a 'type'")
     return message
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_frame: int = DEFAULT_MAX_FRAME
+) -> dict:
+    """Read and validate one frame; returns the decoded message dict.
+
+    Raises :class:`~repro.errors.ProtocolError` for every in-protocol
+    malformation (bad length, CRC mismatch, undecodable or non-message
+    payload) and lets ``asyncio.IncompleteReadError`` / connection errors
+    propagate for torn transports — the caller decides whether a torn tail
+    is an error (mid-conversation) or a normal close (between frames).
+    """
+    return decode_payload(await read_frame_payload(reader, max_frame=max_frame))
 
 
 # ------------------------------------------------------------------ statements
@@ -235,13 +294,46 @@ def activation_to_wire(activation: Activation) -> dict:
     return activation_to_record(activation)
 
 
+#: Process-wide parsed-node memo for wire decode — the decode-side mirror
+#: of the server's :class:`~repro.serving.net.frames.SharedFrameCache`.  A
+#: many-client process (fan-out tests, benchmarks) would otherwise re-parse
+#: the same serialized node once per client.  Bounded by
+#: ``records.NODE_CACHE_LIMIT``; plain-dict operations keep it safe under
+#: the GIL (the worst race costs one duplicate parse).
+_WIRE_NODE_CACHE: dict[str, Any] = {}
+
+
 def activation_from_wire(record: Any) -> Activation:
     """Decode an activation wire record (strictly validated)."""
     if not isinstance(record, dict):
         raise ProtocolError("activation record must be a dict")
     try:
-        return activation_from_record(record)
+        return activation_from_record(record, node_cache=_WIRE_NODE_CACHE)
     except ProtocolError:
         raise
     except Exception as error:
         raise ProtocolError(f"malformed activation record: {error}") from error
+
+
+def batch_payloads(
+    message: Mapping[str, Any], *, max_activations: int = MAX_BATCH_ACTIVATIONS
+) -> list:
+    """Validate an ``activation_batch`` message and return its payload list.
+
+    The frame layer already bounded the bytes; this bounds and shapes the
+    *contents*: ``payloads`` must be a non-empty list of at most
+    ``max_activations`` records.  The records themselves are decoded one by
+    one with :func:`activation_from_wire` by the caller, so a batch with one
+    malformed record fails exactly like a malformed single frame.
+    """
+    payloads = message.get("payloads")
+    if not isinstance(payloads, list) or not payloads:
+        raise ProtocolError(
+            "activation_batch needs a non-empty 'payloads' list"
+        )
+    if len(payloads) > max_activations:
+        raise ProtocolError(
+            f"activation_batch of {len(payloads)} activations exceeds the "
+            f"{max_activations}-activation limit"
+        )
+    return payloads

@@ -536,6 +536,16 @@ class ActiveViewServer:
         """Current per-shard activation sequence counters (copy)."""
         return list(self._sequences)
 
+    @property
+    def queue_depths(self) -> list[int]:
+        """Statements waiting per shard queue (approximate — workers race).
+
+        A persistently deep queue on one shard is the producer-side signal
+        that routing is skewed; the network front end surfaces it through
+        the ``stats`` frame next to the wire-side per-loop counters.
+        """
+        return [shard_queue.qsize() for shard_queue in self._queues]
+
     def clear_logs(self) -> None:
         """Forget recorded firings and action calls on every shard service."""
         for service in self.services:

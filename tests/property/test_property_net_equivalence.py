@@ -26,6 +26,7 @@ import tempfile
 from collections import Counter
 from pathlib import Path
 
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.persist import DurableServer
@@ -131,8 +132,15 @@ async def _consume_session(
     return consumed
 
 
+# The full front-end configuration matrix: batching off/on × single/multi
+# loop.  Per-combination example counts shrink so the whole matrix costs
+# about what one configuration did before.
+_MATRIX = [(1, False), (1, True), (4, False), (4, True)]
+
+
+@pytest.mark.parametrize("loops,batching", _MATRIX)
 @settings(
-    max_examples=min(_EXAMPLES, 15),
+    max_examples=max(3, min(_EXAMPLES, 60) // 3),
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
@@ -142,12 +150,12 @@ async def _consume_session(
     ack_prefix=st.integers(0, 20),
 )
 def test_net_delivery_with_kill_and_resume_matches_oracle(
-    actions, kill_after, ack_prefix
+    loops, batching, actions, kill_after, ack_prefix
 ):
     with tempfile.TemporaryDirectory() as raw_dir:
         server = _open_stack(Path(raw_dir))
         oracle = server.subscribe("oracle", capacity=4096)
-        net = NetworkServer(server, send_buffer=4096)
+        net = NetworkServer(server, send_buffer=4096, loops=loops, batching=batching)
         server.start()
         net.start()
         try:

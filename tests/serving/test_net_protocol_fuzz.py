@@ -30,7 +30,9 @@ from repro.serving import ActiveViewServer
 from repro.serving.net import NetClient, NetworkServer
 from repro.serving.net.protocol import (
     HEADER,
+    MAX_BATCH_ACTIVATIONS,
     PROTOCOL_VERSION,
+    batch_payloads,
     encode_frame,
     read_frame,
 )
@@ -288,6 +290,28 @@ class TestLiveServerFuzz:
 
         asyncio.run(scenario())
 
+    def test_client_sent_activation_batch_is_a_protocol_error(self, live):
+        """``activation_batch`` is a server→client push, never a request."""
+        host, port = live.address
+
+        async def scenario():
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_frame({"type": "hello", "version": PROTOCOL_VERSION}))
+            await writer.drain()
+            welcome = await asyncio.wait_for(read_frame(reader), timeout=5)
+            assert welcome["type"] == "welcome"
+            writer.write(
+                encode_frame({"type": "activation_batch", "payloads": [{"x": 1}]})
+            )
+            await writer.drain()
+            error = await asyncio.wait_for(read_frame(reader), timeout=5)
+            assert error["type"] == "error"
+            assert error["code"] == "protocol"
+            assert await asyncio.wait_for(reader.read(), timeout=5) == b""
+            writer.close()
+
+        asyncio.run(scenario())
+
     def test_oversized_frame_gets_error_frame_then_close(self, live):
         host, port = live.address
 
@@ -306,3 +330,156 @@ class TestLiveServerFuzz:
             writer.close()
 
         asyncio.run(scenario())
+
+# ------------------------------------------------------------- batched frames
+
+
+class TestBatchPayloadValidation:
+    def test_shapes_that_are_not_batches_are_rejected(self):
+        for message in (
+            {"type": "activation_batch"},
+            {"type": "activation_batch", "payloads": []},
+            {"type": "activation_batch", "payloads": "nope"},
+            {"type": "activation_batch", "payloads": {"a": 1}},
+            {"type": "activation_batch", "payloads": 7},
+        ):
+            with pytest.raises(ProtocolError):
+                batch_payloads(message)
+
+    def test_batch_count_limit_is_enforced(self):
+        oversized = {
+            "type": "activation_batch",
+            "payloads": [{}] * (MAX_BATCH_ACTIVATIONS + 1),
+        }
+        with pytest.raises(ProtocolError, match="limit"):
+            batch_payloads(oversized)
+        records = [{"n": i} for i in range(3)]
+        assert batch_payloads(
+            {"type": "activation_batch", "payloads": records}, max_activations=4
+        ) == records
+
+
+def hostile_push_outcome(frames: list[bytes], *, max_frame: int = 64 * 1024):
+    """Handshake a real NetClient against a scripted server, push ``frames``.
+
+    Returns ``(activations_received, stream_ended)``.  The invariant under
+    test: no hostile push may hang the client or escape as anything but a
+    clean stream end — the reader loop converts ``ProtocolError`` /
+    ``IncompleteReadError`` into subscription termination.
+    """
+
+    async def handle(reader, writer):
+        hello = await read_frame(reader)
+        assert hello["type"] == "hello"
+        writer.write(
+            encode_frame(
+                {
+                    "type": "welcome",
+                    "version": PROTOCOL_VERSION,
+                    "caps": ["activation_batch"],
+                    "server": {"shards": 1, "durable": False, "loops": 1},
+                }
+            )
+        )
+        subscribe = await read_frame(reader)
+        assert subscribe["type"] == "subscribe"
+        writer.write(
+            encode_frame(
+                {
+                    "type": "subscribed",
+                    "id": subscribe["id"],
+                    "name": "victim",
+                    "durable": False,
+                }
+            )
+        )
+        await writer.drain()
+        for frame in frames:
+            writer.write(frame)
+        await writer.drain()
+        writer.close()
+
+    async def scenario():
+        server = await asyncio.start_server(handle, "127.0.0.1", 0)
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            client = await NetClient.connect(host, port, max_frame=max_frame)
+            subscription = await client.subscribe("victim")
+            received = []
+            ended = False
+            deadline = 20
+            while deadline:
+                deadline -= 1
+                try:
+                    activation = await subscription.get(timeout=1)
+                except asyncio.TimeoutError:
+                    continue
+                if activation is None:
+                    ended = True
+                    break
+                received.append(activation)
+            await client.close()
+            return received, ended
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    return asyncio.run(asyncio.wait_for(scenario(), timeout=30))
+
+
+class TestHostileBatchPushes:
+    """A batching server that turns hostile must never hang the client."""
+
+    def test_torn_batch_frame_ends_the_stream_cleanly(self):
+        frame = encode_frame(
+            {"type": "activation_batch", "payloads": [{"shard": 0}] * 4}
+        )
+        received, ended = hostile_push_outcome([frame[: len(frame) - 3]])
+        assert received == []
+        assert ended
+
+    def test_bit_flipped_batch_frame_is_detected(self, session_rng):
+        frame = bytearray(
+            encode_frame({"type": "activation_batch", "payloads": [{"shard": 0}]})
+        )
+        frame[session_rng.randrange(len(frame))] ^= 1 << session_rng.randrange(8)
+        received, ended = hostile_push_outcome([bytes(frame)])
+        assert received == []
+        assert ended
+
+    def test_malformed_batch_shapes_end_the_stream(self):
+        for message in (
+            {"type": "activation_batch"},
+            {"type": "activation_batch", "payloads": []},
+            {"type": "activation_batch", "payloads": "nope"},
+            {"type": "activation_batch", "payloads": [42]},
+            {"type": "activation_batch", "payloads": [{"not": "an activation"}]},
+        ):
+            received, ended = hostile_push_outcome([encode_frame(message)])
+            assert received == []
+            assert ended, message
+
+    def test_overcount_batch_is_rejected_not_processed(self):
+        frame = encode_frame(
+            {
+                "type": "activation_batch",
+                "payloads": [{}] * (MAX_BATCH_ACTIVATIONS + 1),
+            }
+        )
+        received, ended = hostile_push_outcome([frame])
+        assert received == []
+        assert ended
+
+    def test_batch_frame_above_the_client_read_limit_is_refused(self):
+        # Declares ~128 KiB against a 4 KiB client cap: read_frame must
+        # refuse on the header, before buffering the payload.
+        frame = encode_frame(
+            {
+                "type": "activation_batch",
+                "payloads": [{"pad": "x" * 1024} for _ in range(128)],
+            }
+        )
+        assert len(frame) > 4096
+        received, ended = hostile_push_outcome([frame], max_frame=4096)
+        assert received == []
+        assert ended

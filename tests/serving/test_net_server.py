@@ -53,9 +53,14 @@ def stack():
         server.stop()
 
 
-@pytest.fixture
-def durable_stack(tmp_path):
-    """A started durable server + network front end."""
+@pytest.fixture(params=[1, 2], ids=["loops1", "loops2"])
+def durable_stack(tmp_path, request):
+    """A started durable server + network front end (single- and multi-loop).
+
+    The multi-loop variant forces the accept-and-hand-off fallback so the
+    connection placement is deterministic round-robin — every durable-cursor
+    and slow-consumer scenario below runs against both front-end shapes.
+    """
     server = DurableServer(
         tmp_path,
         shard_count=2,
@@ -72,7 +77,13 @@ def durable_stack(tmp_path):
     server.ensure_view(catalog_view())
     server.ensure_trigger(WATCH_ALL)
     server.start()
-    net = NetworkServer(server, send_buffer=8, write_buffer_limit=4096).start()
+    net = NetworkServer(
+        server,
+        send_buffer=8,
+        write_buffer_limit=4096,
+        loops=request.param,
+        reuse_port=False,
+    ).start()
     try:
         yield server, net
     finally:
@@ -110,10 +121,11 @@ class TestWireBasics:
 
         async def scenario():
             async with await NetClient.connect(host, port) as client:
-                return dict(client.server_info)
+                return dict(client.server_info), set(client.caps)
 
-        info = run(scenario())
-        assert info == {"shards": 2, "durable": False}
+        info, caps = run(scenario())
+        assert info == {"shards": 2, "durable": False, "loops": 1}
+        assert caps == {"activation_batch"}
 
     def test_execute_round_trip_and_result_summary(self, stack):
         server, net = stack
