@@ -419,6 +419,19 @@ class DurableServer:
             {"kind": "ack", "sub": subscriber, "shard": shard, "seq": sequence}
         )
 
+    def fast_forward(self, name: str, cursor: Mapping[int, int]) -> None:
+        """Advance a named subscriber's persisted cursor before resuming.
+
+        Both front ends (TCP and web) let a reconnecting client present the
+        per-shard cursor it last acked; replaying it here — *before*
+        :meth:`subscribe` computes the backlog — skips redelivery of
+        everything at or below those positions.  Positions behind the
+        persisted cursor are ignored (cursors only move forward), so a
+        stale client cursor can never rewind delivery.
+        """
+        for shard, sequence in cursor.items():
+            self._on_ack(name, int(shard), int(sequence))
+
     def subscribe(
         self, name: str, capacity: int = 256, *, subscriber: Subscriber | None = None
     ) -> Subscriber:

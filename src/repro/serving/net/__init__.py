@@ -9,6 +9,11 @@ runtime, :mod:`repro.serving.net.frames` the cross-loop encode cache),
 """
 
 from repro.serving.net.client import NetClient, NetSubscription
+from repro.serving.net.connection import (
+    LoopSubscriber,
+    WakeHub,
+    subscription_filter,
+)
 from repro.serving.net.frames import SharedFrameCache
 from repro.serving.net.netserver import NetworkServer
 from repro.serving.net.protocol import (
@@ -28,10 +33,13 @@ from repro.serving.net.protocol import (
 )
 
 __all__ = [
+    "LoopSubscriber",
     "NetClient",
     "NetSubscription",
     "NetworkServer",
     "SharedFrameCache",
+    "WakeHub",
+    "subscription_filter",
     "PROTOCOL_VERSION",
     "DEFAULT_MAX_FRAME",
     "CAP_ACTIVATION_BATCH",

@@ -2,11 +2,18 @@
 
 Everything in this module runs on (or hands off to) **one** of the server's
 event loops: :class:`_Connection` owns a client's framed reader loop,
-serialized writer loop, and subscription state; :class:`_NetSubscriber`
+serialized writer loop, and subscription state; :class:`LoopSubscriber`
 bridges shard worker threads to that loop without ever blocking them; and
 :class:`_SubmitAggregator` turns ticket completions into one ``result``
 reply.  The loop-group orchestration (listener sockets, loop threads,
 lifecycle) lives in :mod:`repro.serving.net.netserver`.
+
+:class:`WakeHub`, :class:`LoopSubscriber`, and :func:`subscription_filter`
+are the front-end-agnostic half of this module: they know nothing about the
+framed TCP protocol, only about handing activations from shard worker
+threads to an event loop under a bounded budget.  The HTTP/WebSocket
+gateway (:mod:`repro.serving.web`) reuses them verbatim, so both front ends
+share one pause/flush/backpressure discipline by construction.
 
 Activation delivery has two shapes, chosen per connection at handshake:
 
@@ -48,10 +55,16 @@ from repro.serving.subscribers import Activation, Subscriber
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serving.net.netserver import _LoopRuntime
 
-__all__ = ["_Connection", "_NetSubscriber", "_SubmitAggregator", "_WakeHub"]
+__all__ = [
+    "LoopSubscriber",
+    "WakeHub",
+    "subscription_filter",
+    "_Connection",
+    "_SubmitAggregator",
+]
 
 
-class _WakeHub:
+class WakeHub:
     """Coalesces producer→loop wakeups into one callback per burst.
 
     Every ``call_soon_threadsafe`` pays for a lock, a callback handle and a
@@ -122,7 +135,7 @@ class _WakeHub:
                 fn()
 
 
-class _NetSubscriber(Subscriber):
+class LoopSubscriber(Subscriber):
     """A subscriber whose delivery hands off to a connection's event loop.
 
     ``_offer`` runs on the producing shard worker's thread and must never
@@ -132,7 +145,7 @@ class _NetSubscriber(Subscriber):
     send buffer under a lock, appends to a pending run, and makes sure one
     *wakeup* is scheduled on the loop; the wakeup drains the whole run in
     one callback.  The wakeup itself travels through the loop's
-    :class:`_WakeHub`, so a burst touching many subscribers on one loop
+    :class:`WakeHub`, so a burst touching many subscribers on one loop
     pays for a single ``call_soon_threadsafe``, not one per subscriber.
     Coalescing the handoff this way (instead of one
     ``call_soon_threadsafe`` per activation) is what lets a fan-out burst
@@ -151,7 +164,7 @@ class _NetSubscriber(Subscriber):
         name: str,
         *,
         limit: int,
-        hub: _WakeHub,
+        hub: WakeHub,
         deliver: Callable[[Activation], None],
         overflow: Callable[[], None],
         accept: Callable[[Activation], bool] | None = None,
@@ -239,10 +252,10 @@ class _NetSubscriber(Subscriber):
             self.inflight -= count
 
 
-def _subscription_filter(
+def subscription_filter(
     view: str | None, path: list | None
 ) -> Callable[[Activation], bool] | None:
-    """Build the optional view/path acceptance predicate for SUBSCRIBE."""
+    """Build the optional view/path acceptance predicate for a subscription."""
     if view is None and path is None:
         return None
     prefix = tuple(path) if path is not None else None
@@ -317,7 +330,7 @@ class _Connection:
             maxsize=self.server.send_buffer + 64
         )
         self._writer_task: asyncio.Task | None = None
-        self.subscriber: _NetSubscriber | None = None
+        self.subscriber: LoopSubscriber | None = None
         self._sent_watermark: dict[int, int] = {}
         self._loop = asyncio.get_running_loop()
         #: True once the peer negotiated ``activation_batch`` *and* the
@@ -595,13 +608,13 @@ class _Connection:
             )
             return
         limit = self.server.send_buffer
-        subscriber = _NetSubscriber(
+        subscriber = LoopSubscriber(
             name or f"net-anon-{id(self)}",
             limit=limit,
             hub=self.runtime.wake_hub,
             deliver=self._deliver_activation,
             overflow=self._pause_subscription,
-            accept=_subscription_filter(view, path),
+            accept=subscription_filter(view, path),
             run_end=self._flush_batch if self.server.batch_eager_flush else None,
         )
         self.subscriber = subscriber
@@ -610,8 +623,7 @@ class _Connection:
             if resumable:
                 def attach() -> None:
                     if cursor is not None:
-                        for shard, sequence in cursor.items():
-                            durable._on_ack(name, int(shard), int(sequence))
+                        durable.fast_forward(name, cursor)
                     durable.subscribe(name, subscriber=subscriber)
 
                 await asyncio.to_thread(attach)

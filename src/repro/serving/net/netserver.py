@@ -63,7 +63,7 @@ import threading
 
 from repro.errors import NetworkError
 from repro.persist.durable import DurableServer
-from repro.serving.net.connection import _Connection, _WakeHub
+from repro.serving.net.connection import WakeHub, _Connection
 from repro.serving.net.frames import SharedFrameCache
 from repro.serving.net.protocol import DEFAULT_MAX_FRAME
 from repro.serving.server import ActiveViewServer
@@ -111,7 +111,7 @@ class _LoopRuntime:
         self.loop: asyncio.AbstractEventLoop | None = None
         #: Set together with ``loop``; coalesces producer wakeups targeting
         #: this loop into one ``call_soon_threadsafe`` per burst.
-        self.wake_hub: _WakeHub | None = None
+        self.wake_hub: WakeHub | None = None
         self.thread: threading.Thread | None = None
         self.connections: set[_Connection] = set()
         self.counters = _new_counters()
@@ -148,7 +148,7 @@ class _LoopRuntime:
     def _run(self) -> None:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
-        self.wake_hub = _WakeHub(loop)
+        self.wake_hub = WakeHub(loop)
         self.loop = loop
         try:
             loop.run_until_complete(self._serve())

@@ -1,0 +1,234 @@
+"""Minimal, hardened HTTP/1.1 request parsing and response writing.
+
+The web gateway speaks just enough HTTP to route REST calls and upgrade
+WebSockets — hand-rolled on :mod:`asyncio` streams because the gateway's
+contract is *no new runtime dependencies* and the stdlib's ``http.server``
+is a threaded synchronous stack.  The parser is deliberately strict and
+bounded: header block and body sizes are capped **before** the bytes are
+read, malformed request lines and headers raise :class:`HttpError` with the
+right status code, and nothing here ever buffers an attacker-chosen amount
+of memory.  ``tests/serving/test_web_protocol_fuzz.py`` throws torn,
+oversized, and garbage requests at it and asserts every outcome is a clean
+HTTP error or connection close — never a crash or hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "response_bytes",
+    "json_response",
+    "error_response",
+    "DEFAULT_MAX_HEADER",
+    "DEFAULT_MAX_BODY",
+]
+
+#: Cap on the request line + header block, enforced while reading.
+DEFAULT_MAX_HEADER = 16 * 1024
+#: Cap on a request body (``Content-Length``), enforced before reading it.
+DEFAULT_MAX_BODY = 4 * 1024 * 1024
+
+_REASONS = {
+    101: "Switching Protocols",
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    426: "Upgrade Required",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+_METHODS = frozenset(
+    {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH"}
+)
+
+
+class HttpError(ProtocolError):
+    """A request the gateway refuses, carrying the HTTP status to send."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: line, lower-cased headers, raw body."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, list[str]]
+    headers: dict[str, str]
+    body: bytes = b""
+    #: Whether the connection may carry another request after this one.
+    keep_alive: bool = True
+    _json: object = field(default=None, repr=False)
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    def json(self) -> object:
+        """The body decoded as JSON (raises :class:`HttpError` 400 if not)."""
+        if self._json is None:
+            if not self.body:
+                raise HttpError(400, "request body must be JSON")
+            try:
+                self._json = json.loads(self.body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as error:
+                raise HttpError(400, f"request body is not JSON: {error}")
+        return self._json
+
+
+async def _read_header_block(
+    reader: asyncio.StreamReader, max_header: int
+) -> bytes | None:
+    """Read up to the blank line; None on clean EOF before any bytes."""
+    try:
+        block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # peer closed between requests: a clean goodbye
+        raise HttpError(400, "connection closed mid-request")
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, f"header block exceeds {max_header} bytes")
+    if len(block) > max_header:
+        raise HttpError(431, f"header block exceeds {max_header} bytes")
+    return block
+
+
+def _parse_request_line(line: str) -> tuple[str, str]:
+    parts = line.split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {line!r}")
+    method, target, version = parts
+    if method not in _METHODS:
+        raise HttpError(501, f"unsupported method {method!r}")
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported HTTP version {version!r}")
+    if not target.startswith("/"):
+        raise HttpError(400, f"request target must be origin-form: {target!r}")
+    return method, target
+
+
+def _parse_headers(lines: list[str]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in lines:
+        name, sep, value = line.partition(":")
+        if not sep or not name or name != name.strip() or "\x00" in line:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.lower()] = value.strip()
+    return headers
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_header: int = DEFAULT_MAX_HEADER,
+    max_body: int = DEFAULT_MAX_BODY,
+) -> HttpRequest | None:
+    """Parse one request from the stream; ``None`` on clean end-of-stream.
+
+    Raises :class:`HttpError` (a :class:`~repro.errors.ProtocolError`) for
+    anything malformed, with the HTTP status the gateway should answer
+    before closing.  Size caps are enforced *before* the offending bytes
+    are buffered: the header block via the stream's read limit, the body
+    via ``Content-Length`` inspection prior to the read.
+    """
+    block = await _read_header_block(reader, max_header)
+    if block is None:
+        return None
+    try:
+        text = block.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all bytes
+        raise HttpError(400, "undecodable header block")
+    lines = text.split("\r\n")
+    method, target = _parse_request_line(lines[0])
+    headers = _parse_headers([line for line in lines[1:] if line])
+    if "transfer-encoding" in headers:
+        # Chunked bodies are a smuggling surface the gateway does not need;
+        # every documented endpoint takes small JSON bodies.
+        raise HttpError(501, "Transfer-Encoding is not supported")
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise HttpError(400, f"malformed Content-Length: {raw_length!r}")
+    if length < 0:
+        raise HttpError(400, f"malformed Content-Length: {raw_length!r}")
+    if length > max_body:
+        raise HttpError(413, f"body of {length} bytes exceeds {max_body}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "connection closed mid-body")
+    split = urlsplit(target)
+    connection = headers.get("connection", "").lower()
+    keep_alive = "close" not in connection
+    return HttpRequest(
+        method=method,
+        target=target,
+        path=split.path,
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one HTTP/1.1 response (always with ``Content-Length``)."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if body:
+        lines.append(f"Content-Type: {content_type}")
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def json_response(
+    payload: object, *, status: int = 200, keep_alive: bool = True
+) -> bytes:
+    """A JSON-encoded 200 (or other status) response."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return response_bytes(status, body, keep_alive=keep_alive)
+
+
+def error_response(
+    status: int, message: str, *, keep_alive: bool = False
+) -> bytes:
+    """The gateway's uniform JSON error shape."""
+    return json_response(
+        {"error": {"status": status, "message": message}},
+        status=status,
+        keep_alive=keep_alive,
+    )

@@ -1,0 +1,228 @@
+"""RFC 6455 WebSocket framing on asyncio streams — stdlib only.
+
+Implements exactly the subset the gateway needs, strictly: the opening
+handshake accept key, frame encode (server frames unmasked — which is what
+lets one pre-encoded activation frame be shared byte-identically across
+every subscriber, see :mod:`repro.serving.web.webframes` — client frames
+masked per the RFC), and a :class:`WsReader` that reassembles fragmented
+messages while enforcing every MUST in the spec's framing section:
+
+* masking direction (server rejects unmasked client frames and vice versa);
+* reserved bits clear (no extensions are negotiated);
+* control frames (close/ping/pong) never fragmented, payload <= 125 bytes,
+  and allowed to interleave *between* data fragments but not to carry
+  continuation state;
+* continuation opcodes only inside a fragmented message, data opcodes only
+  outside one;
+* total message size capped before buffering (frame header lengths are
+  checked against the budget **before** the payload is read).
+
+Violations raise :class:`~repro.errors.ProtocolError`; a peer that simply
+disappears surfaces as ``asyncio.IncompleteReadError``.  The fuzz suite
+(``tests/serving/test_web_protocol_fuzz.py``) drives hostile frames through
+both ends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import os
+import struct
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "GUID",
+    "OP_CONT",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "CLOSE_NORMAL",
+    "CLOSE_GOING_AWAY",
+    "CLOSE_PROTOCOL_ERROR",
+    "CLOSE_TOO_BIG",
+    "accept_key",
+    "encode_frame",
+    "encode_close",
+    "parse_close",
+    "WsReader",
+    "DEFAULT_MAX_MESSAGE",
+]
+
+#: The protocol-fixed handshake GUID (RFC 6455 section 1.3).
+GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_DATA_OPCODES = frozenset({OP_TEXT, OP_BINARY})
+_CONTROL_OPCODES = frozenset({OP_CLOSE, OP_PING, OP_PONG})
+
+CLOSE_NORMAL = 1000
+CLOSE_GOING_AWAY = 1001
+CLOSE_PROTOCOL_ERROR = 1002
+CLOSE_TOO_BIG = 1009
+
+#: Cap on one reassembled message (all fragments), checked before buffering.
+DEFAULT_MAX_MESSAGE = 4 * 1024 * 1024
+
+
+def accept_key(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a handshake key."""
+    digest = hashlib.sha1((key + GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def _mask_bytes(payload: bytes, mask: bytes) -> bytes:
+    # int.from_bytes XOR is the fastest stdlib-only unmask for our sizes.
+    if not payload:
+        return payload
+    repeated = mask * (len(payload) // 4 + 1)
+    return (
+        int.from_bytes(payload, "big")
+        ^ int.from_bytes(repeated[: len(payload)], "big")
+    ).to_bytes(len(payload), "big")
+
+
+def encode_frame(
+    opcode: int, payload: bytes, *, fin: bool = True, mask: bool = False
+) -> bytes:
+    """Serialize one frame; ``mask=True`` for client→server frames."""
+    if opcode in _CONTROL_OPCODES:
+        if len(payload) > 125:
+            raise ProtocolError("control frame payload exceeds 125 bytes")
+        if not fin:
+            raise ProtocolError("control frames must not be fragmented")
+    head = bytearray([(0x80 if fin else 0) | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        return bytes(head) + key + _mask_bytes(payload, key)
+    return bytes(head) + payload
+
+
+def encode_close(code: int = CLOSE_NORMAL, reason: str = "",
+                 *, mask: bool = False) -> bytes:
+    """A close frame with a status code and short reason."""
+    payload = struct.pack(">H", code) + reason.encode("utf-8")[:123]
+    return encode_frame(OP_CLOSE, payload, mask=mask)
+
+
+def parse_close(payload: bytes) -> tuple[int, str]:
+    """Split a close frame payload into ``(code, reason)``."""
+    if not payload:
+        return CLOSE_NORMAL, ""
+    if len(payload) == 1:
+        raise ProtocolError("close frame with a 1-byte payload")
+    (code,) = struct.unpack(">H", payload[:2])
+    try:
+        reason = payload[2:].decode("utf-8")
+    except UnicodeDecodeError:
+        raise ProtocolError("close frame reason is not UTF-8")
+    return code, reason
+
+
+class WsReader:
+    """Reads frames off a stream and reassembles messages, strictly.
+
+    ``next_message()`` returns ``(opcode, payload)`` where the opcode is a
+    data opcode (fragments already reassembled) or a control opcode
+    (surfaced to the caller so it can pong pings and honor closes).
+    ``require_mask=True`` is the server side of the connection (clients
+    must mask), ``False`` the client side (servers must not).
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        *,
+        require_mask: bool,
+        max_message: int = DEFAULT_MAX_MESSAGE,
+    ) -> None:
+        self._reader = reader
+        self._require_mask = require_mask
+        self._max_message = max_message
+        self._fragments: list[bytes] = []
+        self._fragment_opcode: int | None = None
+        self._fragment_size = 0
+
+    async def _read_frame(self) -> tuple[bool, int, bytes]:
+        head = await self._reader.readexactly(2)
+        fin = bool(head[0] & 0x80)
+        if head[0] & 0x70:
+            raise ProtocolError("reserved frame bits set without an extension")
+        opcode = head[0] & 0x0F
+        masked = bool(head[1] & 0x80)
+        if masked != self._require_mask:
+            side = "client" if self._require_mask else "server"
+            raise ProtocolError(
+                f"{side} frames must be "
+                f"{'masked' if self._require_mask else 'unmasked'}"
+            )
+        length = head[1] & 0x7F
+        if length == 126:
+            (length,) = struct.unpack(">H", await self._reader.readexactly(2))
+        elif length == 127:
+            (length,) = struct.unpack(">Q", await self._reader.readexactly(8))
+        if opcode in _CONTROL_OPCODES:
+            if length > 125:
+                raise ProtocolError("control frame payload exceeds 125 bytes")
+            if not fin:
+                raise ProtocolError("fragmented control frame")
+        # Budget check BEFORE the payload read: an attacker-declared length
+        # never makes us buffer more than the cap.
+        if self._fragment_size + length > self._max_message:
+            raise ProtocolError(
+                f"message exceeds {self._max_message} byte cap"
+            )
+        mask = await self._reader.readexactly(4) if masked else b""
+        payload = await self._reader.readexactly(length) if length else b""
+        if masked:
+            payload = _mask_bytes(payload, mask)
+        return fin, opcode, payload
+
+    async def next_message(self) -> tuple[int, bytes]:
+        """The next complete data message or control frame."""
+        while True:
+            fin, opcode, payload = await self._read_frame()
+            if opcode in _CONTROL_OPCODES:
+                return opcode, payload
+            if opcode == OP_CONT:
+                if self._fragment_opcode is None:
+                    raise ProtocolError("continuation frame outside a message")
+                self._fragments.append(payload)
+                self._fragment_size += len(payload)
+                if not fin:
+                    continue
+                opcode = self._fragment_opcode
+                whole = b"".join(self._fragments)
+                self._fragments = []
+                self._fragment_opcode = None
+                self._fragment_size = 0
+                return opcode, whole
+            if opcode not in _DATA_OPCODES:
+                raise ProtocolError(f"unknown opcode 0x{opcode:x}")
+            if self._fragment_opcode is not None:
+                raise ProtocolError("new data frame inside a fragmented message")
+            if fin:
+                return opcode, payload
+            self._fragments = [payload]
+            self._fragment_opcode = opcode
+            self._fragment_size = len(payload)

@@ -1,0 +1,339 @@
+"""Property: WebSocket delivery ≡ the in-process subscriber oracle.
+
+The web twin of ``test_property_net_equivalence.py``: statements go in over
+the HTTP REST surface (:class:`repro.serving.web.WebClient`), activations
+come back over a WebSocket subscription (:class:`repro.serving.web.WsClient`)
+— including one that is **killed mid-stream and resumes from its durable
+cursor** over a fresh connection.  The stream must deliver:
+
+* exactly the oracle's activation set once deduplicated by
+  ``(shard, sequence)`` (at-least-once: duplicates are allowed only as
+  cursor-window redeliveries, losses never),
+* every oracle activation at least once (nothing silently dropped, no
+  silent fallback to a weaker delivery mode — the subscription must report
+  itself durable),
+* in per-shard sequence order within every connection session.
+
+The oracle is the in-process :class:`repro.serving.Subscriber` attached to
+the *same* durable server, so the comparison isolates precisely the web
+path: HTTP parsing, JSON activation encoding, RFC 6455 framing, the
+thread↔asyncio bridge, cursor persistence, and resume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.persist import DurableServer
+from repro.relational.dml import DeleteStatement, InsertStatement, UpdateStatement
+from repro.serving.web import WebClient, WebGateway, WsClient
+from repro.xqgm.views import catalog_view
+
+from tests.serving.conftest import build_sharded_paper_database, by_product
+
+_EXAMPLES = int(os.environ.get("REPRO_PROPERTY_EXAMPLES", "15"))
+
+TRIGGERS = [
+    "CREATE TRIGGER UpdAny AFTER UPDATE ON view('catalog')/product DO sink(NEW_NODE/@name)",
+    "CREATE TRIGGER Ins AFTER INSERT ON view('catalog')/product DO sink(NEW_NODE/@name)",
+    "CREATE TRIGGER Del AFTER DELETE ON view('catalog')/product DO sink(OLD_NODE/@name)",
+]
+
+_PIDS = ["P1", "P2", "P3"]
+_VIDS = ["Amazon", "Bestbuy", "Circuitcity", "Buy.com", "Newegg", "Walmart"]
+
+_actions = st.one_of(
+    st.builds(
+        lambda vid, pid, price: ("insert_vendor", vid, pid, price),
+        st.sampled_from(_VIDS), st.sampled_from(_PIDS), st.integers(10, 300),
+    ),
+    st.builds(
+        lambda vid, pid, price: ("update_price", vid, pid, price),
+        st.sampled_from(_VIDS), st.sampled_from(_PIDS), st.integers(10, 300),
+    ),
+    st.builds(lambda vid, pid: ("delete_vendor", vid, pid),
+              st.sampled_from(_VIDS), st.sampled_from(_PIDS)),
+)
+
+_INITIAL = {("Amazon", "P1"), ("Bestbuy", "P1"), ("Circuitcity", "P1"),
+            ("Buy.com", "P2"), ("Bestbuy", "P2"), ("Bestbuy", "P3"),
+            ("Circuitcity", "P3")}
+
+
+def _to_statement(action, existing: set):
+    """Wire-expressible statement for an action (None if PK would collide)."""
+    kind = action[0]
+    if kind == "insert_vendor":
+        _, vid, pid, price = action
+        if (vid, pid) in existing:
+            return None
+        existing.add((vid, pid))
+        return InsertStatement(
+            "vendor", [{"vid": vid, "pid": pid, "price": float(price)}]
+        )
+    if kind == "update_price":
+        _, vid, pid, price = action
+        return UpdateStatement("vendor", {"price": float(price)}, keys=[(vid, pid)])
+    _, vid, pid = action
+    existing.discard((vid, pid))
+    return DeleteStatement("vendor", keys=[(vid, pid)])
+
+
+def _signature(activation):
+    return (
+        activation.shard,
+        activation.sequence,
+        activation.trigger,
+        activation.event.value,
+        activation.key,
+    )
+
+
+def _open_stack(directory: Path):
+    server = DurableServer(
+        directory,
+        shard_count=2,
+        key_fn=by_product,
+        views=[catalog_view()],
+        actions={"sink": lambda value: None},
+    )
+    reference = build_sharded_paper_database(1)
+    for table in reference.table_names():
+        server.sharded.create_table(reference.schema(table))
+    snapshot = reference.snapshot()
+    server.sharded.load_rows("product", snapshot["product"])
+    server.sharded.load_rows("vendor", snapshot["vendor"])
+    server.ensure_view(catalog_view())
+    for definition in TRIGGERS:
+        server.ensure_trigger(definition)
+    return server
+
+
+async def _consume_session(
+    ws, subscription, *, stop_after=None, ack_upto=None
+) -> list:
+    """Consume (and ack a prefix of) one WebSocket session's stream.
+
+    Stops at ``stop_after`` activations, or when the stream runs dry for
+    300 ms.  ``ack_upto=None`` acks everything consumed.
+    """
+    consumed = []
+    while stop_after is None or len(consumed) < stop_after:
+        try:
+            activation = await subscription.get(timeout=0.3)
+        except asyncio.TimeoutError:
+            break
+        if activation is None:
+            break
+        consumed.append(activation)
+        if ack_upto is None or len(consumed) <= ack_upto:
+            await ws.ack(activation)
+    return consumed
+
+
+@settings(
+    max_examples=min(_EXAMPLES, 30),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    actions=st.lists(_actions, min_size=1, max_size=10),
+    kill_after=st.integers(0, 20),
+    ack_prefix=st.integers(0, 20),
+)
+def test_web_delivery_with_kill_and_resume_matches_oracle(
+    actions, kill_after, ack_prefix
+):
+    with tempfile.TemporaryDirectory() as raw_dir:
+        server = _open_stack(Path(raw_dir))
+        oracle = server.subscribe("oracle", capacity=4096)
+        gateway = WebGateway(server, send_buffer=4096)
+        server.start()
+        gateway.start()
+        try:
+            host, port = gateway.address
+            sessions = asyncio.run(
+                _scenario(host, port, actions, kill_after, ack_prefix)
+            )
+        finally:
+            gateway.stop()
+            server.stop()
+
+        oracle_signatures = Counter(_signature(a) for a in oracle.drain())
+        all_consumed = [a for session in sessions for a in session]
+        web_signatures = Counter(_signature(a) for a in all_consumed)
+
+        # Deduplicated, the WebSocket stream is *exactly* the oracle stream.
+        assert set(web_signatures) == set(oracle_signatures), (
+            "web delivery diverged from the in-process oracle"
+        )
+        # The oracle saw each activation exactly once; the web path may
+        # repeat one (redelivery window) but must never invent one.
+        assert all(count == 1 for count in oracle_signatures.values())
+
+        # Per-shard (and therefore per-node) order within every session.
+        for session in sessions:
+            per_shard: dict[int, list[int]] = {}
+            for activation in session:
+                per_shard.setdefault(activation.shard, []).append(
+                    activation.sequence
+                )
+            for sequences in per_shard.values():
+                assert sequences == sorted(sequences)
+
+
+async def _scenario(host, port, actions, kill_after, ack_prefix):
+    existing = set(_INITIAL)
+    sessions: list[list] = []
+
+    ws = await WsClient.connect(host, port)
+    subscription = await ws.subscribe("consumer")
+    assert subscription.durable, "silent fallback to a non-durable stream"
+
+    # DML goes in over the REST surface — a different connection entirely.
+    async with await WebClient.connect(host, port) as rest:
+        for action in actions:
+            statement = _to_statement(action, existing)
+            if statement is None:
+                continue
+            await rest.submit(statement)
+
+    # Session 1: consume part of the stream, ack only a prefix of that,
+    # then die without so much as a goodbye.
+    first = await _consume_session(
+        ws, subscription, stop_after=kill_after, ack_upto=ack_prefix
+    )
+    sessions.append(first)
+    acked = first[: min(ack_prefix, len(first))]
+    if acked:
+        await ws.ping()  # make sure the last ack frame reached the gateway
+    ws._writer.transport.abort()  # the crash
+    await ws.close()
+
+    # Session 2 (post-crash): resume from the durable cursor and run dry.
+    # Everything past the acked prefix must come back.
+    revived = await WsClient.connect(host, port)
+    resumed = await revived.subscribe("consumer")
+    assert resumed.durable
+    second = await _consume_session(revived, resumed)
+    sessions.append(second)
+    await revived.close()
+
+    # At-least-once across the crash: every activation consumed-but-unacked
+    # in session 1 appears again in session 2.
+    unacked = {_signature(a) for a in first[len(acked):]}
+    redelivered = {_signature(a) for a in second}
+    assert unacked <= redelivered, "crash swallowed unacked activations"
+    return sessions
+
+
+@settings(
+    max_examples=min(_EXAMPLES, 10),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(actions=st.lists(_actions, min_size=1, max_size=8))
+def test_batch_endpoint_delivers_identically(actions):
+    """POST /v1/submit-batch ≡ per-statement posts ≡ the oracle."""
+    with tempfile.TemporaryDirectory() as raw_dir:
+        server = _open_stack(Path(raw_dir))
+        oracle = server.subscribe("oracle", capacity=4096)
+        gateway = WebGateway(server, send_buffer=4096)
+        server.start()
+        gateway.start()
+        try:
+            host, port = gateway.address
+
+            async def scenario():
+                ws = await WsClient.connect(host, port)
+                subscription = await ws.subscribe("batcher")
+                existing = set(_INITIAL)
+                statements = [
+                    s for s in (_to_statement(a, existing) for a in actions)
+                    if s is not None
+                ]
+                if statements:
+                    async with await WebClient.connect(host, port) as rest:
+                        results = await rest.submit_batch(statements)
+                    assert len(results) == len(statements)
+                consumed = await _consume_session(ws, subscription)
+                await ws.close()
+                return consumed
+
+            consumed = asyncio.run(scenario())
+        finally:
+            gateway.stop()
+            server.stop()
+
+        oracle_signatures = Counter(_signature(a) for a in oracle.drain())
+        web_signatures = Counter(_signature(a) for a in consumed)
+        assert web_signatures == oracle_signatures
+
+
+@settings(
+    max_examples=min(_EXAMPLES, 10),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    actions=st.lists(_actions, min_size=1, max_size=8),
+    ack_count=st.integers(0, 16),
+)
+def test_client_supplied_cursor_matches_server_side_resume(actions, ack_count):
+    """Resuming with an explicit client cursor ≡ resuming by name alone.
+
+    A client that lost its connection but kept its own ack watermark may
+    hand that cursor back on resubscribe; the gateway fast-forwards the
+    durable cursor before attaching.  The resulting stream must be exactly
+    what a name-only resume against the persisted cursor would deliver.
+    """
+    with tempfile.TemporaryDirectory() as raw_dir:
+        server = _open_stack(Path(raw_dir))
+        oracle = server.subscribe("oracle", capacity=4096)
+        gateway = WebGateway(server, send_buffer=4096)
+        server.start()
+        gateway.start()
+        try:
+            host, port = gateway.address
+
+            async def scenario():
+                ws = await WsClient.connect(host, port)
+                subscription = await ws.subscribe("wanderer")
+                existing = set(_INITIAL)
+                async with await WebClient.connect(host, port) as rest:
+                    for action in actions:
+                        statement = _to_statement(action, existing)
+                        if statement is not None:
+                            await rest.submit(statement)
+                first = await _consume_session(
+                    ws, subscription, stop_after=ack_count
+                )
+                cursor = dict(subscription.cursor)
+                ws._writer.transport.abort()
+                await ws.close()
+
+                revived = await WsClient.connect(host, port)
+                resumed = await revived.subscribe("wanderer", cursor=cursor)
+                assert resumed.durable
+                second = await _consume_session(revived, resumed)
+                await revived.close()
+                return first, second, cursor
+
+            first, second, cursor = asyncio.run(scenario())
+        finally:
+            gateway.stop()
+            server.stop()
+
+        oracle_signatures = {_signature(a) for a in oracle.drain()}
+        seen = {_signature(a) for a in first} | {_signature(a) for a in second}
+        assert seen == oracle_signatures
+
+        # Nothing at or below the handed-back cursor is redelivered.
+        for activation in second:
+            assert activation.sequence > cursor.get(activation.shard, 0)

@@ -23,7 +23,11 @@ Two baseline modes:
 
 Entries recorded at a different ``REPRO_BENCH_SCALE``, and trajectories
 without a ``_headline``, are skipped (reported, never silently).  A missing
-baseline (first run, new benchmark) passes with a note.
+baseline (first run, new benchmark) passes with a note.  Baseline entries
+whose headline metric differs from the newest entry's — a renamed metric,
+as when ``net_fanout`` moved from ``deliveries_per_s`` to
+``batched_deliveries_per_s`` — are *warned about by name*: a quiet skip
+would shrink the gate's window without anyone noticing.
 
 Usage::
 
@@ -67,42 +71,78 @@ def check_file(
     baseline_dir: pathlib.Path | None,
     threshold: float,
     window: int,
-) -> tuple[str, str]:
-    """Check one trajectory; returns ``(status, message)``.
+) -> tuple[str, str, list[str]]:
+    """Check one trajectory; returns ``(status, message, warnings)``.
 
-    ``status`` is ``"ok"``, ``"skip"``, or ``"regression"``.
+    ``status`` is ``"ok"``, ``"skip"``, or ``"regression"``.  ``warnings``
+    names baseline entries that could not be compared — a trajectory whose
+    headline metric was renamed mid-stream must say which entries it is
+    ignoring, not quietly shrink its baseline window.
     """
     trajectory = load_trajectory(path)
     if not trajectory:
-        return "skip", f"{path.name}: empty trajectory"
+        return "skip", f"{path.name}: empty trajectory", []
     newest = trajectory[-1]
     headline = newest.get("_headline")
     if not isinstance(headline, dict) or "metric" not in headline:
-        return "skip", f"{path.name}: newest entry carries no _headline"
+        return "skip", f"{path.name}: newest entry carries no _headline", []
     metric = headline["metric"]
     higher_is_better = bool(headline.get("higher_is_better", False))
     new_value = extract_metric(newest, metric)
     if new_value is None:
-        return "skip", f"{path.name}: metric {metric!r} missing from newest entry"
+        return (
+            "skip",
+            f"{path.name}: metric {metric!r} missing from newest entry",
+            [],
+        )
 
     if baseline_dir is not None:
         baseline_path = baseline_dir / path.name
         if not baseline_path.exists():
-            return "ok", f"{path.name}: no baseline file (new benchmark) — pass"
+            return "ok", f"{path.name}: no baseline file (new benchmark) — pass", []
         history = load_trajectory(baseline_path)
     else:
         history = trajectory[:-1]
 
-    comparable = [
-        value
-        for entry in history
-        if entry.get("scale") == newest.get("scale")
-        and isinstance(entry.get("_headline"), dict)
-        and entry["_headline"].get("metric") == metric
-        and (value := extract_metric(entry, metric)) is not None
-    ]
+    comparable = []
+    renamed: dict[str, int] = {}
+    unreadable = 0
+    for index, entry in enumerate(history):
+        if entry.get("scale") != newest.get("scale"):
+            continue  # different REPRO_BENCH_SCALE: expected, not warned
+        entry_headline = entry.get("_headline")
+        entry_metric = (
+            entry_headline.get("metric")
+            if isinstance(entry_headline, dict) else None
+        )
+        if entry_metric != metric:
+            label = repr(entry_metric) if entry_metric else "<no headline>"
+            renamed[label] = renamed.get(label, 0) + 1
+            continue
+        value = extract_metric(entry, metric)
+        if value is None:
+            unreadable += 1
+            continue
+        comparable.append(value)
+    warnings = []
+    if renamed:
+        mix = ", ".join(
+            f"{count} entr{'y' if count == 1 else 'ies'} with headline {label}"
+            for label, count in sorted(renamed.items())
+        )
+        warnings.append(
+            f"{path.name}: baseline skips {mix} — current headline is "
+            f"{metric!r}; if the metric was renamed, the old entries no "
+            "longer gate anything"
+        )
+    if unreadable:
+        warnings.append(
+            f"{path.name}: {unreadable} baseline entr"
+            f"{'y' if unreadable == 1 else 'ies'} carried headline {metric!r} "
+            "but no readable value — skipped"
+        )
     if not comparable:
-        return "ok", f"{path.name}: no comparable baseline entries — pass"
+        return "ok", f"{path.name}: no comparable baseline entries — pass", warnings
     baseline = statistics.median(comparable[-window:])
     if baseline == 0:
         return "skip", f"{path.name}: zero baseline for {metric!r}"
@@ -119,8 +159,8 @@ def check_file(
         f"({ratio:.2f}x, threshold {1 + threshold:.2f}x, commit {who})"
     )
     if ratio > 1 + threshold:
-        return "regression", detail
-    return "ok", detail
+        return "regression", detail, warnings
+    return "ok", detail, warnings
 
 
 def main(argv: list[str]) -> int:
@@ -146,8 +186,12 @@ def main(argv: list[str]) -> int:
 
     regressions = []
     for path in files:
-        status, message = check_file(path, baseline_dir, args.threshold, args.window)
+        status, message, warnings = check_file(
+            path, baseline_dir, args.threshold, args.window
+        )
         print(f"[{status:>10}] {message}")
+        for warning in warnings:
+            print(f"[      warn] {warning}")
         if status == "regression":
             regressions.append(message)
     if regressions:

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Tier-1 flake detector: rerun failures once under the pinned session seed.
+
+The tier-1 suite prints its randomness handle in the pytest header
+(``REPRO_TEST_SEED=<seed>`` — ``tests/conftest.py``).  When a run fails,
+the interesting question is *which kind* of failure it was:
+
+* **fails deterministically** — the same tests fail again when replayed
+  under the same seed: a real, reproducible break;
+* **flaked** — the test passes on an identical-seed rerun: the failure
+  depends on something outside the seeded randomness (timing, port reuse,
+  scheduling), i.e. a flake worth hunting.
+
+This script runs the suite, and on failure replays exactly the failed
+test ids once with ``REPRO_TEST_SEED`` pinned to the printed seed, then
+writes a JSON report (``--report``) classifying every failure.  The exit
+code is the point where this differs from a retry plugin: **a failing
+first run fails the build either way** — the rerun buys a diagnosis and
+an artifact, never a green checkmark.
+
+Usage::
+
+    python tools/check_flakes.py [--report flake-report.json]
+                                 [pytest args for the first run ...]
+
+Extra arguments are passed to the first pytest run (defaults to the plain
+tier-1 invocation).  The rerun always targets only the failed node ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+
+_SEED_PATTERN = re.compile(r"REPRO_TEST_SEED=(\d+)")
+
+
+def parse_seed(output: str) -> str | None:
+    """The session seed printed in the pytest header, if present."""
+    match = _SEED_PATTERN.search(output)
+    return match.group(1) if match else None
+
+
+def parse_failures(output: str) -> list[str]:
+    """Failed node ids from pytest's short test summary (``-rf`` lines)."""
+    failures = []
+    for line in output.splitlines():
+        if line.startswith(("FAILED ", "ERROR ")):
+            parts = line.split()
+            if len(parts) >= 2 and "::" in parts[1]:
+                failures.append(parts[1])
+    # Preserve order, drop duplicates (a test can be listed as both).
+    return list(dict.fromkeys(failures))
+
+
+def classify(first_failures: list[str], rerun_failures: list[str]) -> list[dict]:
+    """Per-test verdicts: deterministic failure vs flake."""
+    rerun_failed = set(rerun_failures)
+    return [
+        {
+            "nodeid": nodeid,
+            "outcome": (
+                "fails deterministically"
+                if nodeid in rerun_failed
+                else "flaked"
+            ),
+        }
+        for nodeid in first_failures
+    ]
+
+
+def run_pytest(args: list[str], *, seed: str | None = None) -> tuple[int, str]:
+    """One pytest run; returns ``(exit_code, combined_output)``.
+
+    The output is streamed through so CI logs stay readable.
+    """
+    env = dict(os.environ)
+    if seed is not None:
+        env["REPRO_TEST_SEED"] = seed
+    # No ``-q``: quiet mode suppresses the pytest header, and the header is
+    # where the session seed is printed.
+    process = subprocess.run(
+        [sys.executable, "-m", "pytest", "-rf", *args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    sys.stdout.write(process.stdout)
+    sys.stdout.flush()
+    return process.returncode, process.stdout
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", default="flake-report.json",
+                        help="where to write the JSON flake report")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="extra arguments for the first pytest run")
+    args = parser.parse_args(argv)
+    report_path = pathlib.Path(args.report)
+
+    code, output = run_pytest(args.pytest_args)
+    seed = parse_seed(output)
+    if code == 0:
+        report = {"verdict": "clean", "seed": seed, "tests": []}
+        report_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"check_flakes: clean run (seed {seed}) -> {report_path}")
+        return 0
+
+    failures = parse_failures(output)
+    if not failures:
+        # Collection error or crash before any test ran: nothing to replay.
+        report = {"verdict": "error", "seed": seed, "tests": [],
+                  "note": f"pytest exited {code} with no parseable failures"}
+        report_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"check_flakes: unparseable failure (exit {code}) -> {report_path}")
+        return code
+
+    print(f"\ncheck_flakes: {len(failures)} failure(s); replaying once with "
+          f"REPRO_TEST_SEED={seed}")
+    _, rerun_output = run_pytest(list(failures), seed=seed)
+    tests = classify(failures, parse_failures(rerun_output))
+    flaked = [t["nodeid"] for t in tests if t["outcome"] == "flaked"]
+    report = {
+        "verdict": "flaky" if flaked else "deterministic",
+        "seed": seed,
+        "tests": tests,
+    }
+    report_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\ncheck_flakes report ({report_path}):")
+    for test in tests:
+        print(f"  [{test['outcome']:>22}] {test['nodeid']}")
+    if flaked:
+        print(f"check_flakes: {len(flaked)} test(s) flaked — same seed, "
+              "different outcome; the failure lives outside the seeded "
+              "randomness. The build still fails.")
+    else:
+        print("check_flakes: every failure reproduced under the same seed — "
+              f"export REPRO_TEST_SEED={seed} to replay locally.")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,27 +1,31 @@
 #!/usr/bin/env python
-"""Decide which CI jobs a diff actually needs — currently the docs job.
+"""Decide which CI jobs a diff actually needs — the docs and web-smoke jobs.
 
 The docs job executes every Python block in ``README.md`` and ``docs/*.md``
 against the live API, so it must run whenever the docs themselves change
-*or* the public behaviour under them might have.  But a large class of
-``src`` changes — comment edits, formatting — cannot affect executed doc
-blocks.  This script compares the **AST** of each changed ``src`` Python
+*or* the public behaviour under them might have.  The web-smoke job runs
+``examples/web_subscribers.py`` end to end, so it must run whenever the
+serving/persistence stack under the web gateway might have changed.  But a
+large class of ``src`` changes — comment edits, formatting — cannot affect
+either.  This script compares the **AST** of each changed ``src`` Python
 file between the base and head revisions: comment-only (and
-whitespace-only) edits produce identical ASTs and let the docs job skip;
+whitespace-only) edits produce identical ASTs and let the jobs skip;
 any semantic change (docstrings included — they are part of the AST, and
-conservatism is the right failure mode here) triggers it.
+conservatism is the right failure mode here) triggers them.
 
 Anything that is not a ``src`` Python file is classified by path alone:
-docs / README / examples / the checker itself always need the job; test
-and benchmark churn never does.
+docs / README / examples / the checker itself always need the docs job;
+test and benchmark churn never does.  The web-smoke job cares only about
+the gateway's dependency cone: ``src/repro/serving/``, ``src/repro/persist/``,
+and its own example script.
 
 Usage (from CI)::
 
     python tools/ci_paths.py --base <sha> --head <sha>
 
-Prints ``docs=true|false`` and appends the same line to ``$GITHUB_OUTPUT``
-when set.  Any git/parse error makes the answer ``true`` — the job runs
-when in doubt.
+Prints ``docs=true|false`` and ``web=true|false`` and appends the same
+lines to ``$GITHUB_OUTPUT`` when set.  Any git/parse error makes every
+answer ``true`` — the jobs run when in doubt.
 """
 
 from __future__ import annotations
@@ -38,6 +42,14 @@ _DOC_PATHS = ("README.md", "docs/", "examples/", "tools/check_docs.py")
 
 #: Paths whose changes never affect executed doc blocks.
 _IGNORED_PREFIXES = ("tests/", "benchmarks/", "tools/", ".github/")
+
+#: The web-smoke job's dependency cone: the gateway package and everything
+#: it serves (delivery machinery, durable cursors), plus its own example.
+_WEB_PATHS = (
+    "src/repro/serving/",
+    "src/repro/persist/",
+    "examples/web_subscribers.py",
+)
 
 
 def _git(*args: str) -> str:
@@ -62,33 +74,58 @@ def _ast_equal(base_text: str, head_text: str, path: str) -> bool:
         return False
 
 
-def docs_needed(base: str, head: str) -> bool:
-    """Whether the docs drift check must run for the ``base...head`` diff."""
+def _semantically_changed(base: str, head: str, path: str) -> bool:
+    """Whether a ``src`` Python file changed beyond comments/whitespace."""
+    if not path.endswith(".py"):
+        return True
+    base_text = _show(base, path)
+    head_text = _show(head, path)
+    if base_text is None or head_text is None:
+        return True  # file added or removed
+    return not _ast_equal(base_text, head_text, path)
+
+
+def classify(base: str, head: str) -> dict[str, bool]:
+    """Which skippable jobs the ``base...head`` diff needs: docs, web."""
     changed = [
         line
         for line in _git("diff", "--name-only", f"{base}...{head}").splitlines()
         if line.strip()
     ]
-    if not changed:
-        return False
+    docs = False
+    web = False
+    # Cache AST comparisons: a serving-layer file feeds both decisions.
+    semantic: dict[str, bool] = {}
+
+    def changed_semantically(path: str) -> bool:
+        if path not in semantic:
+            semantic[path] = _semantically_changed(base, head, path)
+        return semantic[path]
+
     for path in changed:
-        if path.startswith(_DOC_PATHS):
-            return True
-        if path.startswith(_IGNORED_PREFIXES):
+        if not web and path.startswith(_WEB_PATHS):
+            web = (
+                changed_semantically(path)
+                if path.startswith("src/") else True
+            )
+        if docs:
             continue
-        if not path.startswith("src/"):
+        if path.startswith(_DOC_PATHS):
+            docs = True
+        elif path.startswith(_IGNORED_PREFIXES):
+            pass
+        elif not path.startswith("src/"):
             # Top-level files (pyproject, requirements, ...) cannot change
             # executed doc blocks.
-            continue
-        if not path.endswith(".py"):
-            return True
-        base_text = _show(base, path)
-        head_text = _show(head, path)
-        if base_text is None or head_text is None:
-            return True  # file added or removed under src/
-        if not _ast_equal(base_text, head_text, path):
-            return True
-    return False
+            pass
+        elif changed_semantically(path):
+            docs = True
+    return {"docs": docs, "web": web}
+
+
+def docs_needed(base: str, head: str) -> bool:
+    """Whether the docs drift check must run for the ``base...head`` diff."""
+    return classify(base, head)["docs"]
 
 
 def main(argv: list[str]) -> int:
@@ -97,16 +134,20 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--head", required=True, help="head revision (the change)")
     args = parser.parse_args(argv)
     try:
-        needed = docs_needed(args.base, args.head)
-    except Exception as error:  # noqa: BLE001 - any failure means "run the job"
-        print(f"ci_paths: {error} — defaulting to docs=true", file=sys.stderr)
-        needed = True
-    line = f"docs={'true' if needed else 'false'}"
-    print(line)
+        outputs = classify(args.base, args.head)
+    except Exception as error:  # noqa: BLE001 - any failure means "run the jobs"
+        print(f"ci_paths: {error} — defaulting to docs=web=true", file=sys.stderr)
+        outputs = {"docs": True, "web": True}
+    lines = [
+        f"{job}={'true' if needed else 'false'}"
+        for job, needed in sorted(outputs.items())
+    ]
+    for line in lines:
+        print(line)
     output = os.environ.get("GITHUB_OUTPUT")
     if output:
         with pathlib.Path(output).open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+            handle.write("\n".join(lines) + "\n")
     return 0
 
 
